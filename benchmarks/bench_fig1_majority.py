@@ -1,0 +1,64 @@
+"""Figure 1 — the majority consensus task.
+
+Paper claims reproduced here:
+
+* majority consensus satisfies the colorless-ACT condition (its colorless
+  relaxation has a continuous map) yet is wait-free **unsolvable**;
+* the task is not canonical; after canonicalization the LAP pipeline fires
+  and Corollary 5.5 certifies the impossibility.
+"""
+
+import pytest
+
+from repro import decide_solvability, link_connected_form
+from repro.solvability import Status
+from repro.tasks.canonical import canonicalize, is_canonical
+from repro.tasks.zoo import majority_consensus_task
+
+
+@pytest.fixture(scope="module")
+def task():
+    return majority_consensus_task()
+
+
+def test_build_task(benchmark, task, report):
+    built = benchmark(majority_consensus_task)
+    assert len(built.output_complex.facets) == 5
+    report.row(
+        stage="build",
+        input_facets=len(built.input_complex.facets),
+        output_facets=len(built.output_complex.facets),
+        canonical=is_canonical(built),
+    )
+
+
+def test_canonicalize(benchmark, task, report):
+    cf = benchmark(canonicalize, task)
+    assert is_canonical(cf.task)
+    report.row(
+        stage="canonicalize",
+        output_facets=len(cf.task.output_complex.facets),
+        output_vertices=len(cf.task.output_complex.vertices),
+    )
+
+
+def test_split_pipeline(benchmark, task, report):
+    res = benchmark(link_connected_form, task)
+    report.row(
+        stage="split",
+        n_splits=res.n_splits,
+        o_prime_facets=len(res.task.output_complex.facets),
+        o_prime_components=len(res.task.output_complex.connected_components()),
+    )
+
+
+def test_decide_unsolvable(benchmark, task, report):
+    verdict = benchmark(decide_solvability, task)
+    assert verdict.status is Status.UNSOLVABLE
+    report.row(
+        stage="decide",
+        verdict=verdict.status.value,
+        obstruction=verdict.obstruction.kind,
+        paper_claim="unsolvable (Sect. 5.3)",
+        match=verdict.status is Status.UNSOLVABLE,
+    )

@@ -1,0 +1,85 @@
+"""Figure 2 — the hourglass task.
+
+Paper claims reproduced here:
+
+* a single LAP (P0's value-1 vertex, the "waist") whose link has two
+  connected components, one containing P1's value-1 vertex;
+* splitting it once yields a two-component output complex;
+* the colorless continuous-map condition holds pre-split (map found on a
+  barycentric subdivision) yet the task is unsolvable — post-split the
+  impossibility is a consensus-style Corollary 5.5 argument.
+"""
+
+import pytest
+
+from repro import decide_solvability, link_connected_form
+from repro.solvability import Status
+from repro.solvability.map_search import find_map
+from repro.splitting import local_articulation_points
+from repro.tasks.zoo import hourglass_articulation_vertex, hourglass_task
+from repro.topology.simplex import Vertex
+from repro.topology.subdivision import iterated_barycentric_subdivision
+
+
+@pytest.fixture(scope="module")
+def task():
+    return hourglass_task()
+
+
+def test_lap_detection(benchmark, task, report):
+    laps = benchmark(local_articulation_points, task)
+    assert len(laps) == 1
+    (lap,) = laps
+    assert lap.vertex == hourglass_articulation_vertex()
+    b1_side = next(c for c in lap.components if Vertex(1, 1) in c)
+    report.row(
+        stage="laps",
+        laps=len(laps),
+        waist=str(lap.vertex),
+        components=lap.n_components,
+        b1_component_size=len(b1_side),
+        paper_claim="waist link has 2 components (Fig 2 right)",
+    )
+
+
+def test_split(benchmark, task, report):
+    res = benchmark(link_connected_form, task)
+    comps = res.task.output_complex.connected_components()
+    assert res.n_splits == 1
+    assert len(comps) == 2
+    report.row(
+        stage="split",
+        n_splits=res.n_splits,
+        components=len(comps),
+        component_sizes=sorted(len(c) for c in comps),
+        paper_claim="splitting disconnects O (Fig 2 center-right)",
+    )
+
+
+def test_colorless_map_exists(benchmark, task, report):
+    sub = iterated_barycentric_subdivision(task.input_complex, 2)
+
+    def run():
+        return find_map(sub, task.delta, chromatic=False)
+
+    witness = benchmark(run)
+    assert witness is not None
+    report.row(
+        stage="colorless-map",
+        subdivision="Bary^2",
+        domain_facets=len(sub.complex.facets),
+        found=witness is not None,
+        paper_claim="continuous map exists despite unsolvability (Sect. 1.1)",
+    )
+
+
+def test_decide_unsolvable(benchmark, task, report):
+    verdict = benchmark(decide_solvability, task)
+    assert verdict.status is Status.UNSOLVABLE
+    report.row(
+        stage="decide",
+        verdict=verdict.status.value,
+        obstruction=verdict.obstruction.kind,
+        paper_claim="unsolvable via articulation points (Sect. 6.1)",
+        match=True,
+    )

@@ -1,0 +1,53 @@
+"""Figure 5 — the generic splitting deformation of an r-component LAP.
+
+The paper's Figure 5 shows a link with two components being split.  This
+bench applies the deformation to synthetic fan tasks with a controlled
+number of link components ``r`` and strip length ``m``, measuring the
+deformation cost and checking Lemma 4.1's guarantees (LAP removed, copies
+link-connected, no new LAPs).
+"""
+
+import pytest
+
+from repro.splitting import local_articulation_points, split_lap
+from repro.tasks.zoo import fan_task
+
+
+@pytest.mark.parametrize("r", [2, 3, 4, 6])
+def test_split_r_components(benchmark, r, report):
+    task = fan_task(components=r, strip_length=2)
+    (lap,) = [
+        l for l in local_articulation_points(task) if l.vertex.value == "hub"
+    ]
+    assert lap.n_components == r
+
+    step = benchmark(split_lap, task, lap)
+    remaining_here = [
+        l for l in local_articulation_points(step.after)
+        if l.vertex in step.copies
+    ]
+    assert not remaining_here  # each copy's link is one (connected) strip
+    report.row(
+        r=r,
+        strip=2,
+        copies=len(step.copies),
+        facets_before=len(task.output_complex.facets),
+        facets_after=len(step.after.output_complex.facets),
+        lemma_4_1="copy links connected",
+    )
+
+
+@pytest.mark.parametrize("m", [1, 2, 4, 8])
+def test_split_scaling_with_link_length(benchmark, m, report):
+    task = fan_task(components=2, strip_length=m)
+    (lap,) = [
+        l for l in local_articulation_points(task) if l.vertex.value == "hub"
+    ]
+    step = benchmark(split_lap, task, lap)
+    assert len(step.copies) == 2
+    report.row(
+        r=2,
+        strip=m,
+        output_facets=len(task.output_complex.facets),
+        facets_after=len(step.after.output_complex.facets),
+    )

@@ -1,0 +1,72 @@
+"""Figure 6 / Lemma 4.2 — splitting preserves solvability, both directions.
+
+For the zoo's unsolvable chromatic tasks and a batch of random tasks, the
+decision verdict is computed on the original and on the link-connected
+transform; they must agree whenever both are decided.  The bench times the
+paired decision.
+"""
+
+import pytest
+
+from repro import decide_solvability, link_connected_form
+from repro.tasks.zoo import (
+    hourglass_task,
+    majority_consensus_task,
+    pinwheel_task,
+    random_single_input_task,
+)
+
+
+@pytest.mark.parametrize(
+    "name,make",
+    [
+        ("hourglass", hourglass_task),
+        ("pinwheel", pinwheel_task),
+        ("majority", majority_consensus_task),
+    ],
+)
+def test_zoo_preservation(benchmark, name, make, report):
+    task = make()
+
+    def decide_both():
+        res = link_connected_form(task)
+        return (
+            decide_solvability(task, max_rounds=1),
+            decide_solvability(res.task, max_rounds=1),
+        )
+
+    before, after = benchmark(decide_both)
+    assert before.solvable == after.solvable
+    report.row(
+        task=name,
+        before=before.status.value,
+        after=after.status.value,
+        agree=before.solvable == after.solvable,
+        lemma_4_2="preserved",
+    )
+
+
+def test_random_batch_preservation(benchmark, report):
+    seeds = list(range(10))
+
+    def run_batch():
+        agreements = 0
+        decided = 0
+        for seed in seeds:
+            task = random_single_input_task(seed)
+            res = link_connected_form(task)
+            v1 = decide_solvability(task, max_rounds=1)
+            v2 = decide_solvability(res.task, max_rounds=1)
+            if v1.solvable is not None and v2.solvable is not None:
+                decided += 1
+                agreements += v1.solvable == v2.solvable
+        return decided, agreements
+
+    decided, agreements = benchmark(run_batch)
+    assert decided == agreements
+    report.row(
+        task=f"random x{len(seeds)}",
+        decided_pairs=decided,
+        agreements=agreements,
+        lemma_4_2="preserved",
+    )

@@ -1,0 +1,84 @@
+"""Figure 7 — the chromatic agreement algorithm.
+
+Lemma 5.3 claims each process returns "in time at most proportional to the
+length of the longest link in the output complex".  This bench runs the
+algorithm (with an adversarial color-agnostic front end) on fan tasks of
+growing link length and reports the measured per-process step counts next
+to the predictor, plus throughput over random schedules on the identity
+task.
+"""
+
+import pytest
+
+from repro.runtime.chromatic_agreement import (
+    first_completion,
+    make_chromatic_agreement_factories,
+    spread_completion,
+)
+from repro.runtime.scheduler import run_random
+from repro.runtime.simulation import check_trace
+from repro.tasks.zoo import fan_task, identity_task
+from repro.topology.links import longest_link_size
+from repro.topology.simplex import Simplex
+
+
+def snapshot_first_agnostic(task):
+    def agnostic(pid, x_vertex):
+        yield ("update", "_AG", x_vertex)
+        state = yield ("scan", "_AG")
+        tau = Simplex(x for x in state if x is not None)
+        return task.delta(tau).vertices[0]
+
+    return agnostic
+
+
+def _run_campaign(task, seeds, picker=first_completion):
+    sigma = task.input_complex.facets[0]
+    factories = make_chromatic_agreement_factories(
+        task, sigma, snapshot_first_agnostic(task), picker=picker
+    )
+    max_steps = 0
+    for seed in seeds:
+        trace = run_random(task.n_processes, factories, seed=seed)
+        assert check_trace(task, sigma, trace) is None
+        max_steps = max(max_steps, max(trace.steps.values()))
+    return max_steps
+
+
+def test_identity_throughput(benchmark, report):
+    task = identity_task(3)
+    max_steps = benchmark(_run_campaign, task, range(20))
+    report.row(
+        task="identity",
+        picker="nearest",
+        longest_link=longest_link_size(task.output_complex),
+        max_steps_per_process=max_steps,
+        runs=20,
+    )
+
+
+@pytest.mark.parametrize("m", [1, 3, 6, 10])
+def test_steps_track_link_length(benchmark, m, report):
+    """Longer links -> longer negotiations, linearly (Lemma 5.3).
+
+    The adversarial `spread` picker starts the two non-pivots at opposite
+    ends of the hub's link, so the step-(14) negotiation has to walk the
+    whole path; the nearest picker is reported for contrast.
+    """
+    from repro.splitting import link_connected_form
+
+    # Figure 7 requires a link-connected task: use the split fan, whose hub
+    # copies each carry one strip of the link
+    task = link_connected_form(fan_task(components=2, strip_length=m)).task
+    link_len = longest_link_size(task.output_complex)
+    near = _run_campaign(task, range(30), picker=first_completion)
+    far = benchmark(_run_campaign, task, range(30), spread_completion)
+    assert far <= 20 + 4 * link_len
+    report.row(
+        task=f"split-fan(m={m})",
+        longest_link=link_len,
+        steps_nearest=near,
+        steps_spread=far,
+        bound="20 + 4*link",
+        within_bound=True,
+    )

@@ -1,0 +1,81 @@
+"""Figure 8 — the pinwheel task.
+
+Paper claims reproduced here:
+
+* the pinwheel is a subtask of (inputless) 2-set agreement with all
+  output edges intact; every output vertex is a LAP;
+* splitting all nine LAPs leaves **three** connected components, none of
+  which contains copies of all three solo-decision vertices ("neither of
+  the copies of output vertex 3 is in the yellow component");
+* the task is unsolvable; with the paper's (unpruned) Δ' the argument is
+  Corollary 5.6's cycle argument — with the monotonized Δ' used here the
+  obstruction is already visible at the edge level (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro import decide_solvability, link_connected_form
+from repro.solvability import Status, corollary_5_6
+from repro.splitting import local_articulation_points
+from repro.tasks.zoo import pinwheel_task
+
+
+@pytest.fixture(scope="module")
+def task():
+    return pinwheel_task()
+
+
+def test_lap_inventory(benchmark, task, report):
+    laps = benchmark(local_articulation_points, task)
+    assert len(laps) == 9
+    report.row(
+        stage="laps",
+        laps=len(laps),
+        components_each=sorted({l.n_components for l in laps}),
+        paper_claim="splitting affects all three dimensions (Sect. 6.2)",
+    )
+
+
+def test_split_three_components(benchmark, task, report):
+    res = benchmark(link_connected_form, task)
+    comps = res.task.output_complex.connected_components()
+    assert len(comps) == 3
+    solo_coverage = []
+    for comp in comps:
+        diag = {
+            res.project_vertex(v).color
+            for v in comp
+            if res.project_vertex(v).color == res.project_vertex(v).value
+        }
+        solo_coverage.append(len(diag))
+    assert solo_coverage == [2, 2, 2]
+    report.row(
+        stage="split",
+        n_splits=res.n_splits,
+        components=len(comps),
+        solo_vertices_per_component=solo_coverage,
+        paper_claim="3 components, each missing one solo vertex (Fig 8)",
+        match=True,
+    )
+
+
+def test_corollary_5_6_pre_split(benchmark, task, report):
+    witness = benchmark(corollary_5_6, task)
+    assert witness is not None
+    report.row(
+        stage="cor-5.6",
+        fires=witness is not None,
+        paper_claim="every cycle in Δ(Skel¹I) crosses a LAP",
+    )
+
+
+def test_decide_unsolvable(benchmark, task, report):
+    verdict = benchmark(decide_solvability, task)
+    assert verdict.status is Status.UNSOLVABLE
+    report.row(
+        stage="decide",
+        verdict=verdict.status.value,
+        obstruction=verdict.obstruction.kind,
+        paper_claim="unsolvable (subtask of 2-set agreement)",
+        match=True,
+    )

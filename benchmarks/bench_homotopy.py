@@ -1,0 +1,64 @@
+"""The contractibility obstruction, measured (Section 7's discussion).
+
+The paper's second obstruction species is loop contractibility —
+undecidable in general, budgeted here.  This bench builds π₁ presentations
+of the zoo's output complexes and runs the budgeted null-homotopy decision
+on the canonical loops: the hourglass boundary walk (contractible — the
+geometric content of its colorless-ACT compatibility), the annulus core
+(refuted by infinite order) and the projective-plane loop (refuted by
+2-torsion, needing integer homology).
+"""
+
+import pytest
+
+from repro.tasks.zoo import (
+    annulus_loop,
+    hourglass_task,
+    pinwheel_task,
+    projective_plane_loop,
+)
+from repro.topology.homotopy import is_null_homotopic, pi1_presentation
+from repro.topology.simplex import Vertex
+
+
+def test_presentations(benchmark, report):
+    hourglass = hourglass_task().output_complex
+    pinwheel = pinwheel_task().output_complex
+
+    def run():
+        return pi1_presentation(hourglass), pi1_presentation(pinwheel)
+
+    hg, pw = benchmark(run)
+    report.row(complex="hourglass-O", generators=hg.rank, relators=len(hg.relators))
+    report.row(complex="pinwheel-O", generators=pw.rank, relators=len(pw.relators))
+
+
+def test_hourglass_boundary_walk(benchmark, report):
+    o = hourglass_task().output_complex
+    a0, a1 = Vertex(0, 0), Vertex(0, 1)
+    b0, b1, b2 = Vertex(1, 0), Vertex(1, 1), Vertex(1, 2)
+    c0, c1, c2 = Vertex(2, 0), Vertex(2, 1), Vertex(2, 2)
+    walk = [a0, b1, a1, b0, c2, b2, c0, a1, c1, a0]
+    verdict = benchmark(is_null_homotopic, o, walk)
+    assert verdict is True
+    report.row(
+        loop="hourglass boundary walk",
+        verdict="contractible",
+        paper_claim="colorless-ACT condition holds (Sect. 6.1)",
+    )
+
+
+@pytest.mark.parametrize(
+    "name,make",
+    [("annulus core", annulus_loop), ("RP2 generator", projective_plane_loop)],
+)
+def test_non_contractible_loops(benchmark, name, make, report):
+    loop = make()
+    verdict = benchmark(is_null_homotopic, loop.complex, list(loop.full_cycle()))
+    assert verdict is False
+    report.row(
+        loop=name,
+        verdict="not contractible",
+        refuted_by="integral homology"
+        + (" (2-torsion)" if name.startswith("RP2") else ""),
+    )

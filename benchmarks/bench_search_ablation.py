@@ -1,0 +1,84 @@
+"""Ablation of the map-search design choices (DESIGN.md §5).
+
+The decision procedure's workhorse is the backtracking search for a
+simplicial map carried by Δ.  Two design choices keep it fast:
+
+* support-based domain pruning to fixpoint before the search;
+* adjacency-driven variable ordering.
+
+This bench measures search nodes and wall time with each knob toggled, on
+a solvable instance (identity at Ch¹) and on an unsolvable one (colorless
+consensus at Ch¹, where the whole search must be exhausted).
+"""
+
+import pytest
+
+from repro.solvability.map_search import (
+    SearchBudgetExceeded,
+    SearchStats,
+    prepare_problem,
+    search_map,
+)
+from repro.tasks.zoo import consensus_task, identity_task
+from repro.topology.subdivision import iterated_chromatic_subdivision
+
+CONFIGS = [
+    ("full", True, True),
+    ("no-prune", False, True),
+    ("no-adjacency", True, False),
+    ("naive", False, False),
+]
+
+
+@pytest.mark.parametrize("name,prune,adjacency", CONFIGS, ids=[c[0] for c in CONFIGS])
+def test_solvable_instance(benchmark, name, prune, adjacency, report):
+    task = identity_task(3)
+    sub = iterated_chromatic_subdivision(task.input_complex, 1)
+
+    def run():
+        stats = SearchStats()
+        problem = prepare_problem(
+            sub, task.delta, chromatic=False, prune=prune, adjacency_order=adjacency
+        )
+        found = search_map(problem, stats=stats, max_nodes=500_000)
+        return found, stats
+
+    found, stats = benchmark(run)
+    assert found is not None
+    report.row(
+        instance="identity@Ch1 (solvable)",
+        config=name,
+        nodes=stats.nodes,
+        backtracks=stats.backtracks,
+    )
+
+
+@pytest.mark.parametrize(
+    "name,prune,adjacency",
+    CONFIGS[:2],  # the no-ordering variants are too slow to exhaust here
+    ids=[c[0] for c in CONFIGS[:2]],
+)
+def test_unsolvable_instance(benchmark, name, prune, adjacency, report):
+    task = consensus_task(3)
+    sub = iterated_chromatic_subdivision(task.input_complex, 1)
+
+    def run():
+        stats = SearchStats()
+        problem = prepare_problem(
+            sub, task.delta, chromatic=False, prune=prune, adjacency_order=adjacency
+        )
+        try:
+            found = search_map(problem, stats=stats, max_nodes=3_000_000)
+        except SearchBudgetExceeded:
+            found = "budget"
+        return found, stats
+
+    found, stats = benchmark(run)
+    assert found is None or found == "budget"
+    report.row(
+        instance="consensus@Ch1 (unsolvable)",
+        config=name,
+        nodes=stats.nodes,
+        backtracks=stats.backtracks,
+        exhausted=found is None,
+    )

@@ -1,0 +1,72 @@
+"""Section 2.4 — protocol complexes as chromatic subdivisions.
+
+Measures the growth of ``Ch^r`` and ``Bary^r`` (the paper's ``13^r``
+triangles per input facet) and verifies that the shared-memory
+full-information protocol's reachable views really live in ``Ch^r``.
+"""
+
+import pytest
+
+from repro.runtime.full_information import make_full_information_factories
+from repro.runtime.scheduler import run_random
+from repro.tasks.zoo import single_facet_input
+from repro.topology.simplex import Simplex, chrom
+from repro.topology.subdivision import (
+    iterated_barycentric_subdivision,
+    iterated_chromatic_subdivision,
+)
+
+
+@pytest.mark.parametrize("r", [1, 2, 3])
+def test_chromatic_growth(benchmark, r, report):
+    base = single_facet_input(3)
+    sub = benchmark(iterated_chromatic_subdivision, base, r)
+    assert len(sub.complex.facets) == 13 ** r
+    report.row(
+        engine="Ch",
+        r=r,
+        facets=len(sub.complex.facets),
+        vertices=len(sub.complex.vertices),
+        expected=13 ** r,
+    )
+
+
+@pytest.mark.parametrize("r", [1, 2, 3])
+def test_barycentric_growth(benchmark, r, report):
+    base = single_facet_input(3)
+    sub = benchmark(iterated_barycentric_subdivision, base, r)
+    assert len(sub.complex.facets) == 6 ** r
+    report.row(
+        engine="Bary",
+        r=r,
+        facets=len(sub.complex.facets),
+        vertices=len(sub.complex.vertices),
+        expected=6 ** r,
+    )
+
+
+@pytest.mark.parametrize("r", [1, 2])
+def test_fi_protocol_realizes_subdivision(benchmark, r, report):
+    inputs = chrom((0, "x"), (1, "y"), (2, "z"))
+    from repro.topology.chromatic import ChromaticComplex
+
+    sub = iterated_chromatic_subdivision(ChromaticComplex([inputs]), r)
+    factories, n = make_full_information_factories(inputs, rounds=r)
+
+    def campaign():
+        reached = set()
+        for seed in range(60):
+            trace = run_random(n, factories, seed=seed)
+            facet = Simplex(trace.decisions.values())
+            assert facet in sub.complex
+            reached.add(facet)
+        return reached
+
+    reached = benchmark(campaign)
+    report.row(
+        engine="FI-protocol",
+        r=r,
+        reachable_facets_sampled=len(reached),
+        subdivision_facets=len(sub.complex.facets),
+        all_in_subdivision=True,
+    )

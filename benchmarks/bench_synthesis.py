@@ -1,0 +1,71 @@
+"""Section 5.2 — protocol synthesis and execution.
+
+For the solvable zoo, synthesize an executable wait-free protocol (both
+the direct ACT mode and the Figure 7 mode) and validate it on the
+shared-memory substrate; report modes, subdivision depths and execution
+step statistics.
+"""
+
+import pytest
+
+from repro.runtime import synthesize_protocol, validate_protocol
+from repro.tasks.zoo import (
+    constant_task,
+    identity_task,
+    loop_agreement_task,
+    path_task,
+    set_agreement_task,
+    triangle_loop,
+)
+
+SOLVABLE = [
+    ("identity", lambda: identity_task(3)),
+    ("constant", lambda: constant_task(3)),
+    ("3-set", lambda: set_agreement_task(3, 3)),
+    ("loop-filled", lambda: loop_agreement_task(triangle_loop(True))),
+    ("path", lambda: path_task(3)),
+]
+
+
+@pytest.mark.parametrize("name,make", SOLVABLE, ids=[s[0] for s in SOLVABLE])
+def test_synthesize_direct(benchmark, name, make, report):
+    task = make()
+    protocol = benchmark(synthesize_protocol, task)
+    rep = validate_protocol(task, protocol.factories, participation="facets",
+                            random_runs=2)
+    assert rep.ok
+    report.row(
+        task=name,
+        mode=protocol.mode,
+        rounds=protocol.rounds,
+        runs=rep.runs,
+        ok=rep.ok,
+        mean_steps=round(rep.mean_steps, 1),
+    )
+
+
+@pytest.mark.parametrize(
+    "name,make",
+    [(n, m) for n, m in SOLVABLE if n != "path"],
+    ids=[s[0] for s in SOLVABLE if s[0] != "path"],
+)
+def test_execute_figure7(benchmark, name, make, report):
+    task = make()
+    protocol = synthesize_protocol(task, prefer_direct=False)
+    assert protocol.mode == "figure-7"
+
+    def campaign():
+        return validate_protocol(
+            task, protocol.factories, participation="facets", random_runs=3
+        )
+
+    rep = benchmark(campaign)
+    assert rep.ok
+    report.row(
+        task=name,
+        mode=protocol.mode,
+        rounds=protocol.rounds,
+        runs=rep.runs,
+        ok=rep.ok,
+        max_steps=rep.max_steps,
+    )

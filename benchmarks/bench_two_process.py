@@ -1,0 +1,43 @@
+"""Proposition 5.4 — the exact two-process characterization.
+
+A two-process task is solvable iff a component-consistent choice of solo
+outputs exists.  The bench decides the two-process zoo plus a family of
+growing path tasks (checking that solvability does not degrade with output
+size) and reports verdicts.
+"""
+
+import pytest
+
+from repro import decide_solvability
+from repro.solvability import two_process_solvable
+from repro.tasks.zoo import consensus_task, identity_task, path_task, two_process_fork_task
+
+
+@pytest.mark.parametrize(
+    "name,make,expected",
+    [
+        ("identity", lambda: identity_task(2), True),
+        ("consensus", lambda: consensus_task(2), False),
+        ("fork", two_process_fork_task, False),
+        ("path-3", lambda: path_task(3), True),
+        ("path-9", lambda: path_task(9), True),
+    ],
+)
+def test_two_process_zoo(benchmark, name, make, expected, report):
+    task = make()
+    result = benchmark(two_process_solvable, task)
+    assert result is expected
+    report.row(
+        task=name,
+        solvable=result,
+        expected=expected,
+        match=result is expected,
+    )
+
+
+@pytest.mark.parametrize("length", [3, 7, 15, 31])
+def test_path_scaling(benchmark, length, report):
+    task = path_task(length)
+    verdict = benchmark(decide_solvability, task, max_rounds=0)
+    assert verdict.solvable is True
+    report.row(task=f"path-{length}", output_edges=length, verdict=verdict.status.value)

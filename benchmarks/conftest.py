@@ -1,0 +1,63 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark file reproduces one figure/experiment of the paper (see
+DESIGN.md's per-experiment index).  Besides timing via pytest-benchmark,
+benches record the *structural* results the paper reports (component
+counts, split counts, verdicts…) through the ``report`` fixture; a summary
+table is printed at the end of the session so the run regenerates the
+paper's rows.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List
+
+import pytest
+
+_ROWS: "OrderedDict[str, List[Dict]]" = OrderedDict()
+
+
+class Reporter:
+    """Collects experiment rows for the end-of-session summary."""
+
+    def __init__(self, experiment: str):
+        self.experiment = experiment
+
+    def row(self, **fields) -> None:
+        _ROWS.setdefault(self.experiment, []).append(fields)
+
+
+@pytest.fixture
+def report(request) -> Reporter:
+    """Experiment reporter named after the bench module."""
+    module = request.module.__name__
+    name = module.replace("bench_", "").replace("benchmarks.", "")
+    return Reporter(name)
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _ROWS:
+        return
+    tr = terminalreporter
+    tr.section("paper-reproduction results")
+    for experiment, rows in _ROWS.items():
+        tr.write_line("")
+        tr.write_line(f"[{experiment}]")
+        if not rows:
+            continue
+        keys = list(rows[0].keys())
+        for row in rows:
+            for k in row:
+                if k not in keys:
+                    keys.append(k)
+        widths = {
+            k: max(len(str(k)), *(len(str(r.get(k, ""))) for r in rows)) for k in keys
+        }
+        header = "  ".join(str(k).ljust(widths[k]) for k in keys)
+        tr.write_line("  " + header)
+        tr.write_line("  " + "-" * len(header))
+        for row in rows:
+            tr.write_line(
+                "  " + "  ".join(str(row.get(k, "")).ljust(widths[k]) for k in keys)
+            )

@@ -1,0 +1,71 @@
+"""The hourglass task (Figure 2): a guided impossibility proof.
+
+Reproduces, step by step, the paper's Section 6.1:
+
+* the output complex is contractible, and a continuous map |I| -> |O|
+  respecting Δ exists (colorless-ACT condition holds);
+* nevertheless the task is unsolvable: the waist vertex is a local
+  articulation point; splitting it disconnects the output complex, and
+  Corollary 5.5 reduces the task to (im)possible consensus.
+
+Run:  python examples/hourglass_impossibility.py [--dot out.dot]
+"""
+
+import argparse
+
+from repro import decide_solvability, link_connected_form
+from repro.solvability import corollary_5_5
+from repro.solvability.map_search import find_map
+from repro.splitting import local_articulation_points
+from repro.tasks.zoo import hourglass_articulation_vertex, hourglass_task
+from repro.topology.dot import write_dot
+from repro.topology.homology import betti_numbers
+from repro.topology.subdivision import iterated_barycentric_subdivision
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dot", help="write the output complexes as DOT files")
+    args = parser.parse_args()
+
+    task = hourglass_task()
+    print(f"task: {task}")
+    print(f"output Betti numbers: {betti_numbers(task.output_complex)} "
+          "(contractible: b0=1, b1=0)")
+
+    print("\n-- colorless-ACT condition --")
+    sub = iterated_barycentric_subdivision(task.input_complex, 2)
+    witness = find_map(sub, task.delta, chromatic=False)
+    print(f"continuous map |I| -> |O| respecting Δ: "
+          f"{'EXISTS' if witness else 'does not exist'} "
+          f"(simplicial witness on Bary², {len(sub.complex.facets)} facets)")
+
+    print("\n-- articulation structure --")
+    (lap,) = local_articulation_points(task)
+    print(f"LAP: {lap.vertex} (the waist, P0 deciding 1)")
+    for i, comp in enumerate(lap.components):
+        print(f"  link component {i}: {sorted(map(str, comp))}")
+
+    print("\n-- splitting --")
+    result = link_connected_form(task)
+    comps = result.task.output_complex.connected_components()
+    print(f"splits: {result.n_splits}; O' components: {len(comps)}")
+    for i, comp in enumerate(comps):
+        print(f"  component {i}: {len(comp)} vertices")
+
+    print("\n-- impossibility --")
+    witness = corollary_5_5(result.task)
+    print(f"Corollary 5.5 witness: {witness}")
+    verdict = decide_solvability(task)
+    print(f"final verdict: {verdict.status.value}")
+    print(f"  waist vertex was {hourglass_articulation_vertex()}")
+
+    if args.dot:
+        write_dot(task.output_complex, args.dot, name="hourglass-O")
+        split_path = args.dot.replace(".dot", "") + "-split.dot"
+        write_dot(result.task.output_complex, split_path, name="hourglass-O-split")
+        print(f"\nwrote {args.dot} and {split_path}")
+
+
+if __name__ == "__main__":
+    main()

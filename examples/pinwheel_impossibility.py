@@ -1,0 +1,54 @@
+"""The pinwheel task (Figure 8): impossibility through three components.
+
+Reproduces the paper's Section 6.2: the pinwheel is 2-set agreement with
+some output triangles removed (all edges intact).  Every output vertex is
+a local articulation point; after the nine splits the output complex falls
+into three connected components, and since no component contains copies of
+all three solo-decision vertices, no wait-free protocol can exist.
+
+Run:  python examples/pinwheel_impossibility.py
+"""
+
+from repro import decide_solvability, link_connected_form
+from repro.splitting import local_articulation_points
+from repro.tasks.zoo import inputless_set_agreement_task, pinwheel_task
+
+
+def main() -> None:
+    task = pinwheel_task()
+    two_set = inputless_set_agreement_task(3, 2)
+    print(f"task: {task}")
+    removed = len(two_set.output_complex.facets) - len(task.output_complex.facets)
+    print(
+        f"subtask of 2-set agreement: kept "
+        f"{len(task.output_complex.facets)}/{len(two_set.output_complex.facets)} "
+        f"triangles ({removed} removed), all "
+        f"{len(task.output_complex.simplices(dim=1))} edges intact"
+    )
+
+    print("\n-- articulation structure --")
+    laps = local_articulation_points(task)
+    print(f"every output vertex is a LAP: {len(laps)} LAPs, "
+          f"{sorted({l.n_components for l in laps})} link components each")
+
+    print("\n-- splitting --")
+    result = link_connected_form(task)
+    comps = result.task.output_complex.connected_components()
+    print(f"splits: {result.n_splits}; O' components: {len(comps)}")
+    names = ["yellow", "red", "blue"]
+    for name, comp in zip(names, comps):
+        solos = sorted(
+            f"P{result.project_vertex(v).color}'s {result.project_vertex(v).value}"
+            for v in comp
+            if result.project_vertex(v).color == result.project_vertex(v).value
+        )
+        print(f"  {name}: {len(comp)} vertices; solo-decision copies: {solos}")
+    print("(each component misses one solo vertex -> the Section 6.2 argument)")
+
+    print("\n-- verdict --")
+    verdict = decide_solvability(task)
+    print(f"{verdict.status.value}; obstruction: {verdict.obstruction}")
+
+
+if __name__ == "__main__":
+    main()

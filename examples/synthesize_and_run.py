@@ -1,0 +1,51 @@
+"""Synthesize wait-free protocols from solvability witnesses and race them.
+
+For each solvable task: decide, synthesize in both modes — the direct ACT
+protocol ("run r rounds of immediate snapshot, decide δ(view)") and the
+paper's Figure 7 construction (color-agnostic solution + chromatic repair)
+— then execute both over hundreds of adversarial schedules on the
+shared-memory simulator and compare step counts.
+
+Run:  python examples/synthesize_and_run.py
+"""
+
+from repro import decide_solvability, synthesize_protocol
+from repro.runtime import validate_protocol
+from repro.tasks.zoo import (
+    identity_task,
+    loop_agreement_task,
+    set_agreement_task,
+    triangle_loop,
+)
+
+TASKS = [
+    ("identity", identity_task(3)),
+    ("3-set agreement", set_agreement_task(3, 3)),
+    ("loop agreement (filled)", loop_agreement_task(triangle_loop(True))),
+]
+
+
+def main() -> None:
+    header = f"{'task':<26}{'mode':<10}{'rounds':<8}{'runs':<7}{'mean steps':<12}{'max steps':<10}"
+    print(header)
+    print("-" * len(header))
+    for name, task in TASKS:
+        verdict = decide_solvability(task)
+        assert verdict.solvable, f"{name} should be solvable"
+        for prefer_direct in (True, False):
+            protocol = synthesize_protocol(
+                task, verdict=verdict, prefer_direct=prefer_direct
+            )
+            report = validate_protocol(
+                task, protocol.factories, participation="facets", random_runs=10
+            )
+            assert report.ok, report.violations[:1]
+            print(
+                f"{name:<26}{protocol.mode:<10}{protocol.rounds:<8}"
+                f"{report.runs:<7}{report.mean_steps:<12.1f}{report.max_steps:<10}"
+            )
+    print("\nall executions produced legal, properly colored outputs")
+
+
+if __name__ == "__main__":
+    main()

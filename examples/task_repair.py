@@ -1,0 +1,87 @@
+"""Task repair: watch a specification cross the solvability frontier.
+
+The majority consensus task (Figure 1) is unsolvable because its
+full-participation constraint ("all equal, or more 0s than 1s") pinches
+the output complex.  This script relaxes the specification step by step
+and re-runs the characterization after each repair, showing exactly which
+relaxation removes the obstruction:
+
+1. *majority consensus* — unsolvable (LAP obstruction after splitting);
+2. *mirrored majority* — all equal, or more 1s than 0s: still unsolvable
+   (the obstruction does not care about the chirality of the constraint);
+3. *weak validity* — any combination of input values: solvable with zero
+   rounds, and we synthesize and run the protocol.
+
+Run:  python examples/task_repair.py
+"""
+
+import itertools
+
+from repro import decide_solvability, synthesize_protocol
+from repro.runtime import validate_protocol
+from repro.solvability import Status
+from repro.tasks import Task, task_from_function
+from repro.tasks.zoo import full_input_complex, majority_consensus_task, simplex_values
+from repro.topology.chromatic import ChromaticComplex
+from repro.topology.simplex import Simplex, Vertex
+
+
+def variant_task(allowed_triple, name: str) -> Task:
+    """Binary-input three-process task with a configurable triple rule."""
+    inputs = full_input_complex(3, (0, 1), name=f"I_{name}")
+    out_facets = [
+        Simplex(Vertex(i, v) for i, v in enumerate(combo))
+        for combo in itertools.product((0, 1), repeat=3)
+        if allowed_triple(combo)
+    ]
+    outputs = ChromaticComplex(out_facets, name=f"O_{name}")
+
+    def rule(sigma):
+        ids = sorted(sigma.colors())
+        vals = sorted(simplex_values(sigma))
+        for combo in itertools.product(vals, repeat=len(ids)):
+            if len(ids) == 3 and not allowed_triple(combo):
+                continue
+            candidate = Simplex(Vertex(i, v) for i, v in zip(ids, combo))
+            if candidate in outputs:
+                yield candidate
+
+    return task_from_function(inputs, outputs, rule, name=name)
+
+
+def mirrored_majority(combo) -> bool:
+    ones = combo.count(1)
+    return len(set(combo)) == 1 or ones > len(combo) - ones
+
+
+def weak_validity(combo) -> bool:
+    return True
+
+
+def describe(task) -> None:
+    verdict = decide_solvability(task)
+    print(f"\n=== {task.name} ===")
+    print(f"output facets: {len(task.output_complex.facets)}")
+    print(f"verdict: {verdict.status.value}")
+    if verdict.status is Status.UNSOLVABLE:
+        print(f"  obstruction: {verdict.obstruction}")
+        print(f"  splits performed: {verdict.stats.get('n_splits')}")
+    elif verdict.status is Status.SOLVABLE:
+        protocol = synthesize_protocol(task, verdict=verdict)
+        report = validate_protocol(
+            task, protocol.factories, participation="facets", random_runs=4
+        )
+        print(
+            f"  synthesized {protocol.mode} protocol (r={protocol.rounds}); "
+            f"{report.runs} executions, {'all legal' if report.ok else 'BROKEN'}"
+        )
+
+
+def main() -> None:
+    describe(majority_consensus_task())
+    describe(variant_task(mirrored_majority, "mirrored-majority"))
+    describe(variant_task(weak_validity, "weak-validity"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""repro — Solvability characterization for general three-process tasks.
+
+A full reproduction of Attiya, Fraigniaud, Paz and Rajsbaum,
+*Solvability Characterization for General Three-Process Tasks* (PODC 2025):
+chromatic combinatorial topology, the canonical-form and LAP-splitting
+transforms, the continuous-map solvability decision procedure, and an
+executable shared-memory runtime including the paper's Figure 7 algorithm.
+
+Quick tour::
+
+    from repro.tasks.zoo import hourglass_task
+    from repro.solvability import decide_solvability
+    from repro.runtime import synthesize_protocol, validate_protocol
+
+    verdict = decide_solvability(hourglass_task())
+    assert verdict.solvable is False          # via Corollary 5.5
+
+See ``examples/quickstart.py`` for the guided version.
+"""
+
+from . import analysis, io, runtime, solvability, splitting, tasks, topology
+from .analysis import analyze_task
+from .runtime import synthesize_protocol, validate_protocol
+from .solvability import SolvabilityVerdict, Status, decide_solvability
+from .splitting import link_connected_form
+from .tasks import Task, canonicalize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SolvabilityVerdict",
+    "Status",
+    "Task",
+    "analysis",
+    "analyze_task",
+    "canonicalize",
+    "decide_solvability",
+    "io",
+    "link_connected_form",
+    "runtime",
+    "solvability",
+    "splitting",
+    "synthesize_protocol",
+    "tasks",
+    "topology",
+    "validate_protocol",
+]

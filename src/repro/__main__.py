@@ -1,0 +1,186 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list``
+    Show the built-in task zoo.
+``analyze <task>``
+    Run the full characterization on a zoo task (by name) or a task JSON
+    file; prints the report, optionally dumps DOT drawings and JSON.
+``synthesize <task>``
+    Synthesize an executable protocol for a solvable task and validate it
+    on the shared-memory simulator.
+``census``
+    Decide a population of random tasks and print the certificate counts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict
+
+from .analysis import analyze_task, run_census, sparse_census
+from .io import load_task, save_task, task_to_json
+from .runtime import synthesize_protocol, validate_protocol
+from .solvability import Status
+from .splitting import link_connected_form
+from .tasks.task import Task
+from .tasks import zoo
+from .topology.dot import write_dot
+
+#: name -> zero-argument constructor for every CLI-addressable zoo task
+ZOO: Dict[str, Callable[[], Task]] = {
+    "identity": lambda: zoo.identity_task(3),
+    "constant": lambda: zoo.constant_task(3),
+    "consensus": lambda: zoo.consensus_task(3),
+    "consensus-2p": lambda: zoo.consensus_task(2),
+    "2-set-agreement": lambda: zoo.inputless_set_agreement_task(3, 2),
+    "3-set-agreement": lambda: zoo.set_agreement_task(3, 3),
+    "majority": zoo.majority_consensus_task,
+    "hourglass": zoo.hourglass_task,
+    "pinwheel": zoo.pinwheel_task,
+    "figure3": zoo.figure3_task,
+    "loop-filled": lambda: zoo.loop_agreement_task(zoo.triangle_loop(True)),
+    "loop-hollow": lambda: zoo.loop_agreement_task(zoo.triangle_loop(False)),
+    "loop-projective": lambda: zoo.loop_agreement_task(zoo.projective_plane_loop()),
+    "approx-agreement": lambda: zoo.approximate_agreement_task(2),
+    "path": lambda: zoo.path_task(3),
+    "fork": zoo.two_process_fork_task,
+    "test-and-set": lambda: zoo.test_and_set_task(3),
+    "fan": lambda: zoo.fan_task(2, 2),
+    "twisted-fan": lambda: zoo.fan_task(2, 2, twisted=True),
+}
+
+
+def _resolve_task(spec: str) -> Task:
+    if spec in ZOO:
+        return ZOO[spec]()
+    if spec.endswith(".json"):
+        return load_task(spec)
+    raise SystemExit(
+        f"unknown task {spec!r}; use one of {', '.join(sorted(ZOO))} or a .json file"
+    )
+
+
+def cmd_list(_args) -> int:
+    width = max(len(n) for n in ZOO)
+    for name in sorted(ZOO):
+        task = ZOO[name]()
+        print(
+            f"{name:<{width}}  n={task.n_processes}  "
+            f"|I|={len(task.input_complex.facets):>2} facets  "
+            f"|O|={len(task.output_complex.facets):>3} facets"
+        )
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    task = _resolve_task(args.task)
+    report = analyze_task(task, max_rounds=args.max_rounds)
+    print(report)
+    if args.dot:
+        write_dot(task.output_complex, f"{args.dot}-output.dot")
+        if report.transform is not None:
+            write_dot(
+                report.transform.task.output_complex, f"{args.dot}-split.dot"
+            )
+        print(f"wrote {args.dot}-output.dot")
+    if args.json:
+        payload = {
+            "task": task_to_json(task),
+            "verdict": report.verdict.status.value,
+            "splits": report.n_splits,
+            "laps": report.lap_count,
+            "o_prime_components": report.o_prime_components,
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+    if args.save_split and report.transform is not None:
+        save_task(report.transform.task, args.save_split)
+        print(f"wrote {args.save_split}")
+    return 0 if report.verdict.status is not Status.UNKNOWN else 2
+
+
+def cmd_synthesize(args) -> int:
+    task = _resolve_task(args.task)
+    try:
+        protocol = synthesize_protocol(
+            task, max_rounds=args.max_rounds, prefer_direct=not args.figure7
+        )
+    except Exception as exc:
+        print(f"synthesis failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"synthesized {protocol.mode} protocol, r={protocol.rounds}")
+    report = validate_protocol(
+        task,
+        protocol.factories,
+        participation="facets" if args.facets_only else "all",
+        random_runs=args.runs,
+    )
+    status = "all executions legal" if report.ok else "VIOLATIONS FOUND"
+    print(f"validated over {report.runs} executions: {status}")
+    for v in report.violations[:3]:
+        print(f"  {v}")
+    return 0 if report.ok else 1
+
+
+def cmd_census(args) -> int:
+    runner = sparse_census if args.sparse else run_census
+    census = runner(range(args.seeds), max_rounds=args.max_rounds)
+    print(f"population: {census.population}")
+    print(f"solvable:   {census.solvable}")
+    print(f"unsolvable: {census.unsolvable}")
+    print(f"unknown:    {census.unknown}")
+    print("certificates:")
+    for kind, count in sorted(census.certificates.items()):
+        print(f"  {kind:<16} {count}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Three-process task solvability: the PODC'25 characterization.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the built-in task zoo").set_defaults(
+        fn=cmd_list
+    )
+
+    p = sub.add_parser("analyze", help="run the characterization on a task")
+    p.add_argument("task", help="zoo name or task JSON file")
+    p.add_argument("--max-rounds", type=int, default=2)
+    p.add_argument("--dot", metavar="PREFIX", help="export DOT drawings")
+    p.add_argument("--json", metavar="FILE", help="write a JSON summary")
+    p.add_argument("--save-split", metavar="FILE", help="save the split task")
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser("synthesize", help="synthesize and validate a protocol")
+    p.add_argument("task")
+    p.add_argument("--max-rounds", type=int, default=2)
+    p.add_argument("--figure7", action="store_true", help="force the Figure 7 mode")
+    p.add_argument("--runs", type=int, default=10, help="random schedules per input")
+    p.add_argument("--facets-only", action="store_true")
+    p.set_defaults(fn=cmd_synthesize)
+
+    p = sub.add_parser("census", help="decide a random-task population")
+    p.add_argument("--seeds", type=int, default=20)
+    p.add_argument("--sparse", action="store_true")
+    p.add_argument("--max-rounds", type=int, default=1)
+    p.set_defaults(fn=cmd_census)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,6 @@
+"""Analysis layer: per-task reports and population census."""
+
+from .census import Census, run_census, sparse_census
+from .report import TaskReport, analyze_task
+
+__all__ = ["Census", "TaskReport", "analyze_task", "run_census", "sparse_census"]

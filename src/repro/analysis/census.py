@@ -1,0 +1,77 @@
+"""Population studies over random tasks.
+
+The paper identifies two obstruction species — local articulation points
+(decidable) and contractibility (undecidable in general).  The census runs
+the decision procedure over a seeded population of random tasks and counts
+how often each certificate fires, how many splits the pipeline performs
+and how deep the witnesses sit — a quantitative picture of the
+characterization at work.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..solvability.decision import Status, decide_solvability
+from ..tasks.task import Task
+from ..tasks.zoo.random_tasks import random_single_input_task, random_sparse_task
+
+
+@dataclass
+class Census:
+    """Aggregated outcomes over a task population."""
+
+    population: int = 0
+    solvable: int = 0
+    unsolvable: int = 0
+    unknown: int = 0
+    certificates: Counter = field(default_factory=Counter)
+    witness_depths: Counter = field(default_factory=Counter)
+    splits_histogram: Counter = field(default_factory=Counter)
+
+    def add(self, verdict) -> None:
+        self.population += 1
+        if verdict.status is Status.SOLVABLE:
+            self.solvable += 1
+            self.witness_depths[verdict.witness_rounds] += 1
+            self.certificates["witness-map"] += 1
+        elif verdict.status is Status.UNSOLVABLE:
+            self.unsolvable += 1
+            self.certificates[verdict.obstruction.kind] += 1
+        else:
+            self.unknown += 1
+            self.certificates["unknown"] += 1
+        self.splits_histogram[int(verdict.stats.get("n_splits", 0))] += 1
+
+    def rows(self) -> List[Dict]:
+        """Summary rows for benchmark reporting."""
+        return [
+            {
+                "population": self.population,
+                "solvable": self.solvable,
+                "unsolvable": self.unsolvable,
+                "unknown": self.unknown,
+                "certificates": dict(self.certificates),
+                "max_splits": max(self.splits_histogram, default=0),
+            }
+        ]
+
+
+def run_census(
+    seeds,
+    generator: Callable[[int], Task] = random_single_input_task,
+    max_rounds: int = 1,
+) -> Census:
+    """Decide every generated task and aggregate the outcomes."""
+    census = Census()
+    for seed in seeds:
+        task = generator(seed)
+        census.add(decide_solvability(task, max_rounds=max_rounds))
+    return census
+
+
+def sparse_census(seeds, max_rounds: int = 1) -> Census:
+    """Census over the sparser (LAP-richer) random family."""
+    return run_census(seeds, generator=random_sparse_task, max_rounds=max_rounds)

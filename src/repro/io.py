@@ -1,0 +1,153 @@
+"""JSON serialization of tasks, complexes and verdicts.
+
+Research artifacts want to be saved: a task someone analyzed, the split
+form the pipeline produced, the verdict with its witness.  This module
+provides a faithful round-trip encoding for everything built from the
+library's hashable value vocabulary: JSON scalars, tuples, frozensets,
+:class:`Simplex` views, :class:`SplitValue` branches and
+:class:`Barycenter` markers — i.e. every value the pipelines themselves
+generate.
+
+Format: a tagged-JSON scheme; every non-scalar is ``{"$": tag, …}``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Union
+
+from .splitting.deformation import SplitValue
+from .tasks.task import Task
+from .topology.carrier import CarrierMap
+from .topology.chromatic import ChromaticComplex
+from .topology.complexes import SimplicialComplex
+from .topology.simplex import Simplex, Vertex
+from .topology.subdivision import Barycenter
+
+
+class SerializationError(ValueError):
+    """Raised when a value falls outside the supported vocabulary."""
+
+
+# ---------------------------------------------------------------------------
+# value encoding
+# ---------------------------------------------------------------------------
+
+
+def encode_value(value: Any) -> Any:
+    """Encode a vertex value (or vertex) into tagged JSON."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Vertex):
+        return {"$": "vertex", "color": value.color, "value": encode_value(value.value)}
+    if isinstance(value, Simplex):
+        return {"$": "simplex", "vertices": [encode_value(v) for v in value.sorted_vertices()]}
+    if isinstance(value, SplitValue):
+        return {"$": "split", "base": encode_value(value.base), "branch": value.branch}
+    if isinstance(value, Barycenter):
+        return {"$": "barycenter", "simplex": encode_value(value.simplex)}
+    if isinstance(value, tuple):
+        return {"$": "tuple", "items": [encode_value(v) for v in value]}
+    if isinstance(value, frozenset):
+        return {"$": "frozenset", "items": sorted((encode_value(v) for v in value), key=json.dumps)}
+    raise SerializationError(f"cannot serialize value of type {type(value).__name__}: {value!r}")
+
+
+def decode_value(data: Any) -> Any:
+    """Invert :func:`encode_value`."""
+    if data is None or isinstance(data, (bool, int, float, str)):
+        return data
+    if isinstance(data, dict) and "$" in data:
+        tag = data["$"]
+        if tag == "vertex":
+            return Vertex(data["color"], decode_value(data["value"]))
+        if tag == "simplex":
+            return Simplex(decode_value(v) for v in data["vertices"])
+        if tag == "split":
+            return SplitValue(decode_value(data["base"]), data["branch"])
+        if tag == "barycenter":
+            return Barycenter(decode_value(data["simplex"]))
+        if tag == "tuple":
+            return tuple(decode_value(v) for v in data["items"])
+        if tag == "frozenset":
+            return frozenset(decode_value(v) for v in data["items"])
+        raise SerializationError(f"unknown tag {tag!r}")
+    raise SerializationError(f"cannot deserialize {data!r}")
+
+
+# ---------------------------------------------------------------------------
+# complexes and tasks
+# ---------------------------------------------------------------------------
+
+
+def complex_to_json(k: SimplicialComplex) -> Dict:
+    """Encode a complex by its facets."""
+    return {
+        "$": "complex",
+        "chromatic": isinstance(k, ChromaticComplex),
+        "name": k.name,
+        "facets": [encode_value(f) for f in k.facets],
+    }
+
+
+def complex_from_json(data: Dict) -> SimplicialComplex:
+    if data.get("$") != "complex":
+        raise SerializationError("not a serialized complex")
+    facets = [decode_value(f) for f in data["facets"]]
+    cls = ChromaticComplex if data.get("chromatic") else SimplicialComplex
+    return cls(facets, name=data.get("name"))
+
+
+def task_to_json(task: Task) -> Dict:
+    """Encode a task: complexes plus Δ's explicit images."""
+    return {
+        "$": "task",
+        "name": task.name,
+        "input": complex_to_json(task.input_complex),
+        "output": complex_to_json(task.output_complex),
+        "delta": [
+            {
+                "simplex": encode_value(s),
+                "facets": [encode_value(f) for f in img.facets],
+            }
+            for s, img in task.delta.items()
+        ],
+    }
+
+
+def task_from_json(data: Dict, check: bool = True) -> Task:
+    if data.get("$") != "task":
+        raise SerializationError("not a serialized task")
+    inputs = complex_from_json(data["input"])
+    outputs = complex_from_json(data["output"])
+    images = {}
+    for entry in data["delta"]:
+        s = decode_value(entry["simplex"])
+        images[s] = SimplicialComplex(decode_value(f) for f in entry["facets"])
+    delta = CarrierMap(inputs, outputs, images, check=False)
+    return Task(inputs, outputs, delta, name=data.get("name"), check=check)
+
+
+# ---------------------------------------------------------------------------
+# file helpers
+# ---------------------------------------------------------------------------
+
+
+def save_task(task: Task, fp: Union[str, IO]) -> None:
+    """Write a task as JSON to a path or file object."""
+    payload = task_to_json(task)
+    if isinstance(fp, str):
+        with open(fp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+    else:
+        json.dump(payload, fp, indent=2, sort_keys=True)
+
+
+def load_task(fp: Union[str, IO], check: bool = True) -> Task:
+    """Read a task from a path or file object."""
+    if isinstance(fp, str):
+        with open(fp, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    else:
+        payload = json.load(fp)
+    return task_from_json(payload, check=check)

@@ -1,0 +1,65 @@
+"""The asynchronous shared-memory substrate and executable protocols."""
+
+from .atomic_snapshot import snapshot_scan, snapshot_update
+from .chromatic_agreement import (
+    chromatic_agreement_process,
+    first_completion,
+    make_chromatic_agreement_factories,
+    spread_completion,
+)
+from .full_information import (
+    full_information_views,
+    make_full_information_factories,
+)
+from .immediate_snapshot import immediate_snapshot
+from .memory import RegisterArray, SharedMemory, SnapshotObject
+from .protocol_complex import reachable_views_complex, realizes_subdivision
+from .scheduler import (
+    Execution,
+    ExecutionTrace,
+    SchedulerError,
+    explore_schedules,
+    run_random,
+    run_solo_blocks,
+    run_with_schedule,
+)
+from .simulation import (
+    ValidationReport,
+    Violation,
+    check_trace,
+    run_once,
+    validate_protocol,
+)
+from .synthesis import SynthesisError, SynthesizedProtocol, synthesize_protocol
+
+__all__ = [
+    "Execution",
+    "ExecutionTrace",
+    "RegisterArray",
+    "SchedulerError",
+    "SharedMemory",
+    "SnapshotObject",
+    "SynthesisError",
+    "SynthesizedProtocol",
+    "ValidationReport",
+    "Violation",
+    "check_trace",
+    "chromatic_agreement_process",
+    "explore_schedules",
+    "first_completion",
+    "full_information_views",
+    "immediate_snapshot",
+    "make_chromatic_agreement_factories",
+    "snapshot_scan",
+    "snapshot_update",
+    "spread_completion",
+    "make_full_information_factories",
+    "reachable_views_complex",
+    "realizes_subdivision",
+    "run_once",
+    "run_random",
+    "run_solo_blocks",
+    "run_with_schedule",
+    "synthesize_protocol",
+    "validate_protocol",
+]

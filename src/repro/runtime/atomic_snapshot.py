@@ -1,0 +1,77 @@
+"""Wait-free atomic snapshot from single-writer registers [AADGMS93].
+
+The paper's model (Section 2.1) allows assuming atomic ``scan`` w.l.o.g.;
+the scheduler's :class:`~repro.runtime.memory.SnapshotObject` provides that
+directly.  This module closes the loop by *constructing* the snapshot from
+plain SWMR registers, following Afek, Attiya, Dolev, Gafni, Merritt and
+Shavit: every update embeds a scan; a scanner double-collects until either
+two identical collects succeed (a direct scan) or some process is seen to
+move twice, in which case the scanner borrows that process's embedded scan
+(which is linearizable within the scanner's interval).
+
+Register contents are ``(seq, value, embedded_view)`` triples.  The
+implementation is wait-free: a scanner performs at most ``n + 2`` collects.
+
+Sub-generators for the cooperative scheduler:
+
+* ``snapshot_update(name, n, pid, value)``
+* ``snapshot_scan(name, n, pid)``
+
+Both operate on a register array ``name``; reads are issued one register
+at a time, so *every* interleaving of the underlying atomic reads/writes is
+explored by the scheduler — the linearizability tests in
+``tests/runtime/test_atomic_snapshot.py`` run exhaustively over them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Tuple
+
+Entry = Tuple[int, Any, Optional[Tuple[Any, ...]]]
+
+
+def _collect(name: str, n: int) -> Generator[Tuple, Any, Tuple[Optional[Entry], ...]]:
+    """One register-by-register collect (not atomic)."""
+    out = []
+    for j in range(n):
+        entry = yield ("read", name, j)
+        out.append(entry)
+    return tuple(out)
+
+
+def _values_of(collected: Tuple[Optional[Entry], ...]) -> Tuple[Any, ...]:
+    return tuple(e[1] if e is not None else None for e in collected)
+
+
+def snapshot_scan(name: str, n: int, pid: int) -> Generator[Tuple, Any, Tuple[Any, ...]]:
+    """Wait-free linearizable scan of the register array ``name``.
+
+    Returns the vector of current values (``None`` for never-written
+    slots).
+    """
+    moved: set = set()
+    previous = yield from _collect(name, n)
+    while True:
+        current = yield from _collect(name, n)
+        if current == previous:
+            return _values_of(current)
+        for j in range(n):
+            if previous[j] != current[j]:
+                if j in moved:
+                    # j moved twice during our scan: its embedded view was
+                    # produced entirely within our interval — borrow it
+                    view = current[j][2]
+                    if view is not None:
+                        return view
+                moved.add(j)
+        previous = current
+
+
+def snapshot_update(
+    name: str, n: int, pid: int, value: Any
+) -> Generator[Tuple, Any, None]:
+    """Wait-free update of slot ``pid``: embed a scan, then write."""
+    view = yield from snapshot_scan(name, n, pid)
+    old = yield ("read", name, pid)
+    seq = (old[0] + 1) if old is not None else 1
+    yield ("write", name, (seq, value, view))

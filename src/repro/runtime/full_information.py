@@ -1,0 +1,57 @@
+"""The full-information immediate-snapshot protocol (Section 2.4).
+
+``r`` rounds of one-shot immediate snapshots, each round writing the view
+acquired in the previous one.  The final views are, by construction,
+vertices of the ``r``-fold standard chromatic subdivision ``Ch^r(I)`` of
+the input complex — the exact subdivision used by the map search — so a
+simplicial map ``δ : Ch^r(I) → O`` turns directly into the wait-free
+protocol "run ``r`` rounds, decide ``δ(view)``".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Tuple
+
+from ..topology.simplex import Simplex, Vertex
+from .immediate_snapshot import immediate_snapshot
+
+
+def full_information_views(
+    n: int, pid: int, input_vertex: Vertex, rounds: int
+) -> Generator[Tuple, Any, Vertex]:
+    """Run ``rounds`` immediate-snapshot rounds; return the ``Ch^r`` vertex.
+
+    A scheduler sub-generator.  Round ``k`` uses the snapshot object
+    ``_FI<k>``; with ``rounds = 0`` the input vertex itself is returned
+    (the identity subdivision).
+    """
+    current: Vertex = input_vertex
+    for k in range(rounds):
+        view = yield from immediate_snapshot(f"_FI{k}", n, pid, current)
+        current = Vertex(pid, Simplex(view.values()))
+    return current
+
+
+def make_full_information_factories(inputs, rounds: int):
+    """Factories for all participants of an input simplex.
+
+    ``inputs`` is a chromatic simplex (or iterable of input vertices); the
+    returned dict maps each pid to a factory whose process decides its
+    final ``Ch^r`` vertex.
+    """
+    vertices = list(inputs)
+    n = max(v.color for v in vertices) + 1
+
+    def make_factory(v: Vertex):
+        def factory(pid: int):
+            assert pid == v.color
+
+            def body():
+                out = yield from full_information_views(n, pid, v, rounds)
+                yield ("decide", out)
+
+            return body()
+
+        return factory
+
+    return {v.color: make_factory(v) for v in vertices}, n

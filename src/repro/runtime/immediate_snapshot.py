@@ -1,0 +1,45 @@
+"""One-shot immediate snapshot via the Borowsky–Gafni floor algorithm.
+
+The paper assumes processes communicate by immediate snapshots (Section
+2.1).  Rather than making IS a scheduler primitive, we implement the
+classical wait-free construction from atomic snapshots [BG93]: a process
+starts at floor ``n`` and descends; at each floor it updates its
+``(floor, value)`` pair and scans; when the set of processes at its floor
+or below has size at least its floor, it returns their values.
+
+The returned views satisfy the immediate-snapshot properties —
+self-inclusion, comparability *and immediacy* (``j ∈ view_i`` implies
+``view_j ⊆ view_i``) — which is exactly what makes the one-round views
+form the standard chromatic subdivision (tested exhaustively in the test
+suite).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Tuple
+
+
+def immediate_snapshot(
+    name: str, n: int, pid: int, value: Any
+) -> Generator[Tuple, Any, Dict[int, Any]]:
+    """Write ``value`` and immediately snapshot; a scheduler sub-generator.
+
+    Use as ``view = yield from immediate_snapshot("IS0", n, i, v)``; the
+    result maps process ids to their values (own id always included).
+    The underlying snapshot object stores ``(floor, value)`` pairs under
+    the given name.
+    """
+    floor = n + 1
+    while True:
+        floor -= 1
+        if floor <= 0:
+            raise RuntimeError("immediate snapshot descended below floor 1")
+        yield ("update", name, (floor, value))
+        state = yield ("scan", name)
+        at_or_below = {
+            j: entry[1]
+            for j, entry in enumerate(state)
+            if entry is not None and entry[0] <= floor
+        }
+        if len(at_or_below) >= floor:
+            return at_or_below

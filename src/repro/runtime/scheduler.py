@@ -1,0 +1,257 @@
+"""A deterministic cooperative scheduler over process coroutines.
+
+Processes are Python generators that *yield* operation requests
+(:class:`Op`) and receive results via ``send``; each yielded operation is
+executed atomically.  All interleavings of atomic operations are therefore
+exactly the sequences of process ids the scheduler picks — which makes
+executions replayable (a schedule is a list of pids), seedable (random
+schedules) and enumerable (exhaustive DFS over choice points for small
+step counts).
+
+Supported operations:
+
+``("write", name, value)``          — write own SWMR register in array *name*
+``("read", name, index)``           — read register *index* of array *name*
+``("collect", name)``               — **non**-atomic collect; sugar that the
+                                      scheduler expands to one read per step
+                                      is avoided: processes that want a true
+                                      collect issue reads one by one; this op
+                                      exists for tests of atomicity anomalies
+                                      and is executed as reads in one sweep,
+                                      documented as the *scan* variant
+``("update", name, value)``         — update own slot of snapshot object
+``("scan", name)``                  — atomic scan of snapshot object
+``("decide", value)``               — record a decision and terminate
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Iterator, List, Optional, Sequence, Tuple
+
+from .memory import SharedMemory
+
+ProcessBody = Generator  # yields op tuples, returns decision via ("decide", v)
+ProcessFactory = Callable[[int], ProcessBody]
+
+
+class SchedulerError(RuntimeError):
+    """Raised on protocol misbehaviour (bad op, step overrun, no decision)."""
+
+
+@dataclass
+class ExecutionTrace:
+    """What happened in one run: per-process decisions and step counts.
+
+    When the execution was created with ``record_ops=True``, ``ops`` holds
+    the full ``(pid, op, result)`` log — the raw material for debugging a
+    protocol or asserting on its communication pattern.
+    """
+
+    decisions: Dict[int, Any] = field(default_factory=dict)
+    steps: Dict[int, int] = field(default_factory=dict)
+    schedule: List[int] = field(default_factory=list)
+    ops: List[Tuple[int, Tuple, Any]] = field(default_factory=list)
+
+    def total_steps(self) -> int:
+        return sum(self.steps.values())
+
+    def ops_of(self, pid: int) -> List[Tuple[Tuple, Any]]:
+        """The (op, result) log of one process, in execution order."""
+        return [(op, res) for p, op, res in self.ops if p == pid]
+
+    def writes_to(self, name: str) -> List[Tuple[int, Any]]:
+        """All ``update``/``write`` operations touching a shared object."""
+        return [
+            (p, op[2])
+            for p, op, _ in self.ops
+            if op[0] in ("write", "update") and op[1] == name
+        ]
+
+
+class Execution:
+    """One run of a set of processes over a fresh shared memory.
+
+    Drive it with :meth:`step` (choose which process moves) until
+    :meth:`done`; or use the convenience runners below.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        processes: Dict[int, ProcessBody],
+        max_steps: int = 100_000,
+        record_ops: bool = False,
+    ):
+        self.memory = SharedMemory(n)
+        self.n = n
+        self._procs: Dict[int, ProcessBody] = dict(processes)
+        self._pending: Dict[int, Any] = {}  # next value to send into each generator
+        self._started: Dict[int, bool] = {pid: False for pid in processes}
+        self.trace = ExecutionTrace(steps={pid: 0 for pid in processes})
+        self.max_steps = max_steps
+        self.record_ops = record_ops
+
+    # -- core stepping -------------------------------------------------------
+
+    def runnable(self) -> Tuple[int, ...]:
+        """Process ids that have not yet decided."""
+        return tuple(sorted(self._procs))
+
+    def done(self) -> bool:
+        return not self._procs
+
+    def step(self, pid: int) -> None:
+        """Run one atomic operation of process ``pid``."""
+        if pid not in self._procs:
+            raise SchedulerError(f"process {pid} is not runnable")
+        gen = self._procs[pid]
+        self.trace.steps[pid] += 1
+        self.trace.schedule.append(pid)
+        if self.trace.steps[pid] > self.max_steps:
+            raise SchedulerError(f"process {pid} exceeded {self.max_steps} steps")
+        try:
+            if not self._started[pid]:
+                self._started[pid] = True
+                op = gen.send(None)
+            else:
+                op = gen.send(self._pending.pop(pid, None))
+        except StopIteration as stop:
+            raise SchedulerError(
+                f"process {pid} returned {stop.value!r} without a ('decide', …) op"
+            ) from stop
+        result = self._execute(pid, op)
+        self._pending[pid] = result
+        if self.record_ops:
+            self.trace.ops.append((pid, op, result))
+        if op[0] == "decide":
+            self.trace.decisions[pid] = op[1]
+            self._procs.pop(pid)
+            gen.close()
+
+    def _execute(self, pid: int, op: Tuple) -> Any:
+        kind = op[0]
+        if kind == "write":
+            _, name, value = op
+            self.memory.register_array(name).write(pid, value)
+            return None
+        if kind == "read":
+            _, name, index = op
+            return self.memory.register_array(name).read(index)
+        if kind == "update":
+            _, name, value = op
+            self.memory.snapshot_object(name).update(pid, value)
+            return None
+        if kind == "scan":
+            _, name = op
+            return self.memory.snapshot_object(name).scan()
+        if kind == "decide":
+            return None
+        raise SchedulerError(f"process {pid} issued unknown op {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Convenience runners
+# ---------------------------------------------------------------------------
+
+
+def run_with_schedule(
+    n: int,
+    factories: Dict[int, ProcessFactory],
+    schedule: Sequence[int],
+    max_steps: int = 100_000,
+) -> ExecutionTrace:
+    """Replay an explicit schedule; remaining steps run round-robin.
+
+    ``schedule`` entries naming finished (or absent) processes are skipped,
+    so schedules are robust to length mismatches.
+    """
+    execution = Execution(
+        n, {pid: make(pid) for pid, make in factories.items()}, max_steps=max_steps
+    )
+    for pid in schedule:
+        if execution.done():
+            break
+        if pid in execution.runnable():
+            execution.step(pid)
+    while not execution.done():
+        for pid in execution.runnable():
+            execution.step(pid)
+            break
+    return execution.trace
+
+
+def run_random(
+    n: int,
+    factories: Dict[int, ProcessFactory],
+    seed: int,
+    max_steps: int = 100_000,
+) -> ExecutionTrace:
+    """Run under a seeded uniformly random scheduler."""
+    rng = random.Random(seed)
+    execution = Execution(
+        n, {pid: make(pid) for pid, make in factories.items()}, max_steps=max_steps
+    )
+    while not execution.done():
+        pid = rng.choice(execution.runnable())
+        execution.step(pid)
+    return execution.trace
+
+
+def run_solo_blocks(
+    n: int,
+    factories: Dict[int, ProcessFactory],
+    order: Sequence[int],
+    max_steps: int = 100_000,
+) -> ExecutionTrace:
+    """Run each process to completion in the given order (sequential runs)."""
+    execution = Execution(
+        n, {pid: make(pid) for pid, make in factories.items()}, max_steps=max_steps
+    )
+    for pid in order:
+        while pid in execution.runnable():
+            execution.step(pid)
+    while not execution.done():
+        for pid in execution.runnable():
+            execution.step(pid)
+            break
+    return execution.trace
+
+
+def explore_schedules(
+    n: int,
+    factories: Dict[int, ProcessFactory],
+    max_executions: Optional[int] = None,
+    max_steps: int = 10_000,
+) -> Iterator[ExecutionTrace]:
+    """Exhaustively enumerate interleavings by DFS over scheduler choices.
+
+    Processes must be deterministic (true for everything in this library):
+    each execution replays a prefix of pid choices and explores every
+    runnable extension.  The number of interleavings explodes with step
+    count, so callers cap with ``max_executions``.
+    """
+    count = 0
+    stack: List[List[int]] = [[]]
+    while stack:
+        prefix = stack.pop()
+        execution = Execution(
+            n, {pid: make(pid) for pid, make in factories.items()}, max_steps=max_steps
+        )
+        ok = True
+        for pid in prefix:
+            if pid not in execution.runnable():
+                ok = False
+                break
+            execution.step(pid)
+        if not ok:
+            continue
+        if execution.done():
+            yield execution.trace
+            count += 1
+            if max_executions is not None and count >= max_executions:
+                return
+            continue
+        for pid in reversed(execution.runnable()):
+            stack.append(prefix + [pid])

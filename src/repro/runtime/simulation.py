@@ -1,0 +1,176 @@
+"""Simulation harness: validate protocols against task specifications.
+
+Runs a protocol over many executions — seeded-random schedules, sequential
+(solo-block) schedules, structured prefixes and exhaustively enumerated
+interleavings for small budgets — across all participation patterns (every
+face of every input facet), and checks the task's correctness conditions:
+
+* every participating process decides;
+* each process decides a vertex of its own color;
+* the decided vertices form a simplex of ``Δ(τ)`` for the participating
+  input simplex ``τ``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional, Tuple
+
+from ..tasks.task import Task
+from ..topology.simplex import Simplex, Vertex
+from .scheduler import (
+    ExecutionTrace,
+    explore_schedules,
+    run_random,
+    run_solo_blocks,
+)
+
+FactoryBuilder = Callable[[Simplex], Dict[int, Callable[[int], Generator]]]
+
+
+@dataclass
+class Violation:
+    """One failed execution, with enough context to replay it."""
+
+    inputs: Simplex
+    schedule: Tuple[int, ...]
+    decisions: Dict[int, Vertex]
+    reason: str
+
+    def __repr__(self) -> str:
+        return f"Violation[{self.reason} on {self.inputs!r}, schedule={self.schedule}]"
+
+
+@dataclass
+class ValidationReport:
+    """Aggregate outcome of a validation campaign."""
+
+    runs: int = 0
+    violations: List[Violation] = field(default_factory=list)
+    max_steps: int = 0
+    total_steps: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def mean_steps(self) -> float:
+        return self.total_steps / self.runs if self.runs else 0.0
+
+    def merge_trace(self, trace: ExecutionTrace) -> None:
+        self.runs += 1
+        self.total_steps += trace.total_steps()
+        if trace.steps:
+            self.max_steps = max(self.max_steps, max(trace.steps.values()))
+
+    def __repr__(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} violations"
+        return f"ValidationReport[{self.runs} runs, {status}]"
+
+
+def check_trace(task: Task, inputs: Simplex, trace: ExecutionTrace) -> Optional[str]:
+    """Return a violation reason for an execution, or ``None`` if legal."""
+    participating = set(inputs.colors())
+    decided = set(trace.decisions)
+    if decided != participating:
+        return f"processes {sorted(participating - decided)} never decided"
+    for pid, v in trace.decisions.items():
+        if not isinstance(v, Vertex) or v.color != pid:
+            return f"process {pid} decided {v!r}, not an own-colored vertex"
+    simplex = Simplex(trace.decisions.values())
+    if simplex not in task.delta(inputs):
+        return f"decisions {simplex!r} are not in Δ({inputs!r})"
+    return None
+
+
+def _participation_simplices(task: Task, participation: str) -> Tuple[Simplex, ...]:
+    if participation == "facets":
+        return task.input_complex.facets
+    if participation == "all":
+        return task.input_complex.simplices()
+    raise ValueError(f"unknown participation mode {participation!r}")
+
+
+def validate_protocol(
+    task: Task,
+    build: FactoryBuilder,
+    participation: str = "all",
+    random_runs: int = 25,
+    exhaustive_limit: Optional[int] = None,
+    adversarial: bool = False,
+    seed: int = 0,
+    max_steps: int = 100_000,
+) -> ValidationReport:
+    """Validate a protocol against a task across schedules and inputs.
+
+    ``build(inputs)`` must return the per-process factories for an input
+    simplex.  ``exhaustive_limit`` bounds the number of exhaustively
+    enumerated interleavings per input (``None`` disables enumeration);
+    ``adversarial`` additionally runs the starver/alternator/stutterer
+    battery of :mod:`repro.runtime.adversary`.
+    """
+    report = ValidationReport()
+    for inputs in _participation_simplices(task, participation):
+        n = max(inputs.colors()) + 1
+
+        def record(trace: ExecutionTrace) -> None:
+            report.merge_trace(trace)
+            reason = check_trace(task, inputs, trace)
+            if reason is not None:
+                report.violations.append(
+                    Violation(
+                        inputs=inputs,
+                        schedule=tuple(trace.schedule),
+                        decisions=dict(trace.decisions),
+                        reason=reason,
+                    )
+                )
+
+        # sequential orders: every permutation of solo blocks
+        for order in itertools.permutations(sorted(inputs.colors())):
+            factories = build(inputs)
+            record(run_solo_blocks(n, factories, order, max_steps=max_steps))
+
+        # seeded random schedules
+        for k in range(random_runs):
+            factories = build(inputs)
+            record(run_random(n, factories, seed=seed * 7919 + k, max_steps=max_steps))
+
+        # targeted adversarial schedules
+        if adversarial:
+            from .adversary import adversarial_sweep
+
+            for _name, trace in adversarial_sweep(
+                n,
+                lambda: build(inputs),
+                sorted(inputs.colors()),
+                max_steps=max_steps,
+            ):
+                record(trace)
+
+        # exhaustive interleavings under a budget (factories are re-invoked
+        # per enumerated execution, so one builder call suffices)
+        if exhaustive_limit:
+            for trace in explore_schedules(
+                n,
+                build(inputs),
+                max_executions=exhaustive_limit,
+                max_steps=max_steps,
+            ):
+                record(trace)
+    return report
+
+
+def run_once(
+    task: Task,
+    build: FactoryBuilder,
+    inputs: Simplex,
+    seed: int = 0,
+    max_steps: int = 100_000,
+) -> Tuple[Dict[int, Vertex], Optional[str]]:
+    """Run one random-schedule execution; return decisions and violation."""
+    n = max(inputs.colors()) + 1
+    trace = run_random(n, build(inputs), seed=seed, max_steps=max_steps)
+    return dict(trace.decisions), check_trace(task, inputs, trace)

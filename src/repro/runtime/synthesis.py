@@ -1,0 +1,168 @@
+"""End-to-end protocol synthesis from the characterization.
+
+This is the constructive payoff of Theorem 5.1: for a task the decision
+procedure declares solvable, build an *executable wait-free protocol* and
+run it on the shared-memory substrate.
+
+Two synthesis modes:
+
+* **direct** — when a *chromatic* (color-preserving) witness map exists at
+  some subdivision depth, the protocol is the classical ACT one: run ``r``
+  full-information rounds and decide ``δ(view)``.
+* **figure-7** — in general only a color-agnostic witness exists on the
+  transformed task ``T'``.  The protocol runs the Figure 7 algorithm of
+  Lemma 5.3 on ``T'`` with ``A_C = (r rounds of FI, then δ)``, then projects
+  each decision back through the splitting (Lemma 4.2) and the canonical
+  form (Theorem 3.1) to an output vertex of the original task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, Optional
+
+from ..solvability.decision import SolvabilityVerdict, Status, decide_solvability
+from ..solvability.map_search import find_map
+from ..tasks.task import Task
+from ..topology.maps import SimplicialMap
+from ..topology.simplex import Simplex, Vertex
+from ..topology.subdivision import iterated_chromatic_subdivision
+from .chromatic_agreement import make_chromatic_agreement_factories
+from .full_information import full_information_views
+
+
+class SynthesisError(RuntimeError):
+    """Raised when no executable protocol can be synthesized."""
+
+
+def _map_decision(inner: Generator, project: Callable[[Vertex], Vertex]) -> Generator:
+    """Wrap a process generator, projecting the final decision value."""
+    result = None
+    while True:
+        op = inner.send(result)
+        if op[0] == "decide":
+            yield ("decide", project(op[1]))
+            return
+        result = yield op
+
+
+@dataclass
+class SynthesizedProtocol:
+    """An executable wait-free protocol for a task.
+
+    ``factories(inputs)`` returns, for an input simplex, one process
+    factory per participating id, ready for the scheduler; ``mode`` is
+    ``"direct"`` or ``"figure-7"``; ``rounds`` is the FI depth used.
+    """
+
+    task: Task
+    mode: str
+    rounds: int
+    verdict: SolvabilityVerdict
+    _build: Callable[[Simplex], Dict[int, Callable[[int], Generator]]]
+
+    def factories(self, inputs: Simplex) -> Dict[int, Callable[[int], Generator]]:
+        if inputs not in self.task.input_complex:
+            raise SynthesisError(f"{inputs!r} is not an input simplex of the task")
+        return self._build(inputs)
+
+
+def _direct_protocol(
+    task: Task, delta_map: SimplicialMap, rounds: int, n: int
+) -> Callable[[Simplex], Dict[int, Callable[[int], Generator]]]:
+    def build(inputs: Simplex) -> Dict[int, Callable[[int], Generator]]:
+        factories = {}
+        for x in inputs.vertices:
+            def make(x_vertex: Vertex):
+                def factory(pid: int) -> Generator:
+                    def body():
+                        vertex = yield from full_information_views(
+                            n, pid, x_vertex, rounds
+                        )
+                        yield ("decide", delta_map.vertex_image(vertex))
+
+                    return body()
+
+                return factory
+
+            factories[x.color] = make(x)
+        return factories
+
+    return build
+
+
+def synthesize_protocol(
+    task: Task,
+    verdict: Optional[SolvabilityVerdict] = None,
+    max_rounds: int = 2,
+    prefer_direct: bool = True,
+    max_nodes: int = 2_000_000,
+) -> SynthesizedProtocol:
+    """Build an executable protocol for a solvable task.
+
+    When ``verdict`` is omitted the decision procedure is run first.
+    ``prefer_direct`` searches for a chromatic witness before falling back
+    to the Figure 7 construction.
+    """
+    if verdict is None:
+        verdict = decide_solvability(task, max_rounds=max_rounds, max_nodes=max_nodes)
+    if verdict.status is not Status.SOLVABLE:
+        raise SynthesisError(
+            f"cannot synthesize a protocol: task is {verdict.status.value}"
+        )
+    n = task.n_processes
+
+    if prefer_direct:
+        for r in range(max_rounds + 1):
+            sub = iterated_chromatic_subdivision(task.input_complex, r)
+            try:
+                f = find_map(sub, task.delta, chromatic=True, max_nodes=max_nodes)
+            except Exception:
+                f = None
+            if f is not None:
+                return SynthesizedProtocol(
+                    task=task,
+                    mode="direct",
+                    rounds=r,
+                    verdict=verdict,
+                    _build=_direct_protocol(task, f, r, n),
+                )
+
+    if n != 3:
+        raise SynthesisError(
+            "no chromatic witness found and the Figure 7 construction is "
+            f"three-process specific (task has n={n})"
+        )
+    if verdict.witness_map is None or verdict.transform is None:
+        raise SynthesisError("the verdict carries no color-agnostic witness map")
+
+    transform = verdict.transform
+    target = transform.task
+    rounds = verdict.witness_rounds or 0
+    delta_map = verdict.witness_map
+
+    def agnostic(pid: int, x_vertex: Vertex) -> Generator:
+        vertex = yield from full_information_views(n, pid, x_vertex, rounds)
+        return delta_map.vertex_image(vertex)
+
+    def build(inputs: Simplex) -> Dict[int, Callable[[int], Generator]]:
+        # the transform's output is link-connected by Theorem 4.3
+        inner = make_chromatic_agreement_factories(
+            target, inputs, agnostic, check=False
+        )
+
+        def project_factory(factory):
+            def wrapped(pid: int) -> Generator:
+                return _map_decision(factory(pid), transform.project_vertex)
+
+            return wrapped
+
+        return {pid: project_factory(f) for pid, f in inner.items()}
+
+    return SynthesizedProtocol(
+        task=task,
+        mode="figure-7",
+        rounds=rounds,
+        verdict=verdict,
+        _build=build,
+    )

@@ -1,0 +1,330 @@
+"""Search for simplicial maps from a subdivision of ``I`` carried by Δ.
+
+By the simplicial approximation theorem, a continuous map ``|I| → |O|``
+carried by a carrier map Δ exists iff, for *some* finite subdivision of
+``I``, a simplicial map carried by Δ exists.  This module performs that
+search for a fixed subdivision (callers do the iterative deepening over
+subdivision depth):
+
+* *color-agnostic* mode — any vertex of the right carrier image may be the
+  target (this is the hypothesis the paper's Figure 7 algorithm consumes);
+* *chromatic* mode — the map must also preserve colors (a witness here is
+  directly an ACT-style protocol: decide ``f(view)``).
+
+The search is a constraint-satisfaction backtracker: variables are the
+subdivision's vertices, the domain of a vertex ``v`` is the vertex set of
+``Δ(carrier(v))``, and every subdivision facet must land inside
+``Δ(carrier(facet))``.  Forward checking prunes neighbor domains through
+the facet constraints; variables are ordered by increasing carrier
+dimension, then minimum remaining values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from ..topology.carrier import CarrierMap
+from ..topology.complexes import SimplicialComplex
+from ..topology.maps import SimplicialMap
+from ..topology.simplex import Simplex, Vertex, color_of, vertex_sort_key
+from ..topology.subdivision import SubdivisionResult
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """Raised when the backtracking node budget is exhausted."""
+
+
+@dataclass
+class SearchStats:
+    """Counters exposed for the benchmarks and ablations."""
+
+    nodes: int = 0
+    backtracks: int = 0
+    propagations: int = 0
+
+
+@dataclass(frozen=True)
+class MapSearchProblem:
+    """A prepared search instance (reusable across searches)."""
+
+    subdivision: SubdivisionResult
+    delta: CarrierMap
+    chromatic: bool
+    variables: Tuple[Hashable, ...]
+    domains: Dict[Hashable, Tuple[Hashable, ...]]
+    facet_constraints: Dict[Hashable, Tuple[Tuple[Simplex, SimplicialComplex], ...]]
+
+
+def _carrier_of_facet(sub: SubdivisionResult, facet: Simplex) -> Simplex:
+    """The minimal base simplex whose subdivision contains ``facet``."""
+    verts: Set = set()
+    for v in facet.vertices:
+        verts.update(sub.carrier_of_vertex(v).vertices)
+    return Simplex(verts)
+
+
+def _prune_domains_by_support(
+    domains: Dict[Hashable, List[Hashable]],
+    facets: List[Tuple[Simplex, SimplicialComplex]],
+) -> bool:
+    """Arc-consistency-style pruning: a value survives only if every facet
+    containing its vertex can be completed with it.  Iterates to fixpoint.
+    Returns ``False`` when some domain empties (no map exists)."""
+    by_vertex: Dict[Hashable, List[Tuple[Simplex, SimplicialComplex]]] = {}
+    for facet, target in facets:
+        for v in facet.vertices:
+            by_vertex.setdefault(v, []).append((facet, target))
+
+    def has_support(v: Hashable, a: Hashable, facet: Simplex, target) -> bool:
+        others = [w for w in facet.vertices if w != v]
+
+        def extend(idx: int, chosen: List[Hashable]) -> bool:
+            if idx == len(others):
+                return Simplex(chosen) in target
+            for b in domains[others[idx]]:
+                chosen.append(b)
+                # partial membership check prunes the inner loop early
+                if Simplex(chosen) in target and extend(idx + 1, chosen):
+                    chosen.pop()
+                    return True
+                chosen.pop()
+            return False
+
+        return extend(0, [a])
+
+    changed = True
+    while changed:
+        changed = False
+        for v, constraints in by_vertex.items():
+            kept = []
+            for a in domains[v]:
+                if all(has_support(v, a, f, t) for f, t in constraints):
+                    kept.append(a)
+            if len(kept) != len(domains[v]):
+                domains[v] = kept
+                changed = True
+                if not kept:
+                    return False
+    return True
+
+
+def _adjacency_order(
+    vertices: Tuple[Hashable, ...],
+    domains: Dict[Hashable, Tuple[Hashable, ...]],
+    facets: List[Simplex],
+) -> Tuple[Hashable, ...]:
+    """Order variables so each one shares a facet with an earlier one.
+
+    Assigning along the adjacency structure makes the per-facet consistency
+    checks fire as early as possible; ties break toward small domains.
+    """
+    neighbors: Dict[Hashable, set] = {v: set() for v in vertices}
+    for f in facets:
+        vs = list(f.vertices)
+        for v in vs:
+            neighbors[v].update(w for w in vs if w != v)
+    remaining = set(vertices)
+    order: List[Hashable] = []
+    frontier: set = set()
+
+    def key(v):
+        return (len(domains[v]), vertex_sort_key(v))
+
+    while remaining:
+        pool = frontier & remaining
+        if not pool:
+            pool = remaining
+        v = min(pool, key=key)
+        order.append(v)
+        remaining.discard(v)
+        frontier |= neighbors[v]
+    return tuple(order)
+
+
+def prepare_problem(
+    sub: SubdivisionResult,
+    delta: CarrierMap,
+    chromatic: bool,
+    prune: bool = True,
+    adjacency_order: bool = True,
+) -> MapSearchProblem:
+    """Precompute variables, pruned domains and per-facet constraints.
+
+    ``prune`` and ``adjacency_order`` are ablation knobs (see
+    ``benchmarks/bench_search_ablation.py``); both default on — disabling
+    them reproduces the naive backtracker.
+    """
+    if delta.domain != sub.base:
+        raise ValueError("Δ's domain must be the subdivision's base complex")
+    domains: Dict[Hashable, List[Hashable]] = {}
+    for v in sub.complex.vertices:
+        carrier = sub.carrier_of_vertex(v)
+        allowed = delta(carrier).vertices
+        if chromatic:
+            c = color_of(v)
+            allowed = tuple(w for w in allowed if color_of(w) == c)
+        domains[v] = sorted(allowed, key=vertex_sort_key)
+
+    facets_with_targets: List[Tuple[Simplex, SimplicialComplex]] = [
+        (facet, delta(_carrier_of_facet(sub, facet))) for facet in sub.complex.facets
+    ]
+    if prune:
+        _prune_domains_by_support(domains, facets_with_targets)
+
+    facet_constraints: Dict[Hashable, List[Tuple[Simplex, SimplicialComplex]]] = {
+        v: [] for v in sub.complex.vertices
+    }
+    for facet, target in facets_with_targets:
+        for v in facet.vertices:
+            facet_constraints[v].append((facet, target))
+
+    if adjacency_order:
+        variables = _adjacency_order(
+            sub.complex.vertices,
+            {v: tuple(ds) for v, ds in domains.items()},
+            list(sub.complex.facets),
+        )
+    else:
+        variables = tuple(
+            sorted(sub.complex.vertices, key=vertex_sort_key)
+        )
+    return MapSearchProblem(
+        subdivision=sub,
+        delta=delta,
+        chromatic=chromatic,
+        variables=variables,
+        domains={v: tuple(ds) for v, ds in domains.items()},
+        facet_constraints={v: tuple(cs) for v, cs in facet_constraints.items()},
+    )
+
+
+def _completable(
+    partial: List[Hashable],
+    unassigned: List[Hashable],
+    domains: Dict[Hashable, Tuple[Hashable, ...]],
+    target: SimplicialComplex,
+) -> bool:
+    """Whether a facet's partial image extends to a simplex of ``target``."""
+    if not unassigned:
+        return Simplex(partial) in target
+    head, rest = unassigned[0], unassigned[1:]
+    for b in domains[head]:
+        partial.append(b)
+        if Simplex(partial) in target and _completable(partial, rest, domains, target):
+            partial.pop()
+            return True
+        partial.pop()
+    return False
+
+
+def _consistent(
+    problem: MapSearchProblem,
+    assignment: Dict[Hashable, Hashable],
+    v: Hashable,
+    value: Hashable,
+    stats: SearchStats,
+) -> bool:
+    """Check facet constraints touching ``v``, with completion lookahead.
+
+    The partial image of every facet must be a simplex of its target, and
+    the facet must remain completable from the unassigned domains.
+    """
+    assignment[v] = value
+    try:
+        for facet, target in problem.facet_constraints[v]:
+            partial = []
+            unassigned = []
+            for w in facet.vertices:
+                if w in assignment:
+                    partial.append(assignment[w])
+                else:
+                    unassigned.append(w)
+            stats.propagations += 1
+            if Simplex(partial) not in target:
+                return False
+            if unassigned and not _completable(
+                partial, unassigned, problem.domains, target
+            ):
+                return False
+        return True
+    finally:
+        del assignment[v]
+
+
+def search_map(
+    problem: MapSearchProblem,
+    max_nodes: int = 2_000_000,
+    stats: Optional[SearchStats] = None,
+) -> Optional[SimplicialMap]:
+    """Run the backtracking search; return a witness map or ``None``.
+
+    ``None`` means *no map exists for this subdivision* (exhaustive search),
+    not merely that the search gave up — budget exhaustion raises
+    :class:`SearchBudgetExceeded` instead.
+    """
+    stats = stats if stats is not None else SearchStats()
+    if any(not problem.domains[v] for v in problem.variables):
+        return None
+    assignment: Dict[Hashable, Hashable] = {}
+
+    order = problem.variables
+
+    def backtrack(idx: int) -> bool:
+        if idx == len(order):
+            return True
+        stats.nodes += 1
+        if stats.nodes > max_nodes:
+            raise SearchBudgetExceeded(
+                f"map search exceeded {max_nodes} nodes "
+                f"(subdivision facets: {len(problem.subdivision.complex.facets)})"
+            )
+        v = order[idx]
+        for value in problem.domains[v]:
+            if _consistent(problem, assignment, v, value, stats):
+                assignment[v] = value
+                if backtrack(idx + 1):
+                    return True
+                del assignment[v]
+                stats.backtracks += 1
+        return False
+
+    if not backtrack(0):
+        return None
+    return SimplicialMap(
+        problem.subdivision.complex,
+        problem.delta.codomain,
+        dict(assignment),
+        check=False,
+    )
+
+
+def find_map(
+    sub: SubdivisionResult,
+    delta: CarrierMap,
+    chromatic: bool = False,
+    max_nodes: int = 2_000_000,
+    stats: Optional[SearchStats] = None,
+) -> Optional[SimplicialMap]:
+    """Convenience wrapper: prepare and run a search in one call."""
+    problem = prepare_problem(sub, delta, chromatic)
+    return search_map(problem, max_nodes=max_nodes, stats=stats)
+
+
+def verify_map(
+    sub: SubdivisionResult,
+    delta: CarrierMap,
+    f: SimplicialMap,
+    chromatic: bool = False,
+) -> bool:
+    """Independently verify a witness: simplicial, carried by Δ, colors.
+
+    Used by tests and by the decision procedure before trusting a witness.
+    """
+    try:
+        f.validate()
+    except Exception:
+        return False
+    if chromatic and not f.is_chromatic():
+        return False
+    return f.is_carried_by(delta, via=sub.carrier)

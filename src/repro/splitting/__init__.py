@@ -1,0 +1,43 @@
+"""Section 4: local articulation points and the splitting deformation."""
+
+from .deformation import (
+    SplitStep,
+    SplitValue,
+    SplittingError,
+    split_lap,
+    unsplit_value,
+    unsplit_vertex,
+)
+from .lap import (
+    LocalArticulationPoint,
+    count_laps_per_facet,
+    is_link_connected_task,
+    iter_local_articulation_points,
+    local_articulation_points,
+)
+from .pipeline import (
+    SplitPipelineResult,
+    SplittingDidNotConverge,
+    TransformResult,
+    eliminate_laps,
+    link_connected_form,
+)
+
+__all__ = [
+    "LocalArticulationPoint",
+    "SplitPipelineResult",
+    "SplitStep",
+    "SplitValue",
+    "SplittingDidNotConverge",
+    "SplittingError",
+    "TransformResult",
+    "count_laps_per_facet",
+    "eliminate_laps",
+    "is_link_connected_task",
+    "iter_local_articulation_points",
+    "link_connected_form",
+    "local_articulation_points",
+    "split_lap",
+    "unsplit_value",
+    "unsplit_vertex",
+]

@@ -1,0 +1,149 @@
+"""Iterated LAP elimination (Theorem 4.3) and the full task transform.
+
+``eliminate_laps`` repeatedly applies the splitting deformation, facet by
+facet, until the task is link-connected; Lemma 4.1 guarantees progress
+(the LAP count w.r.t. the current facet strictly decreases, and facets
+already cleaned stay clean).
+
+``link_connected_form`` is the complete front end used by the decision
+procedure: canonicalize if needed (Section 3), then split (Section 4),
+returning a :class:`TransformResult` that can project any output vertex of
+the final task ``T'`` back to an output vertex of the original ``T`` —
+which is exactly how a protocol for ``T'`` becomes a protocol for ``T``
+(Theorem 3.1 + Lemma 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..tasks.canonical import CanonicalForm, canonicalize_if_needed
+from ..tasks.task import Task
+from ..topology.simplex import Vertex
+from .deformation import SplitStep, split_lap, unsplit_vertex
+from .lap import (
+    LocalArticulationPoint,
+    is_link_connected_task,
+    local_articulation_points,
+)
+
+
+class SplittingDidNotConverge(RuntimeError):
+    """Raised when LAP elimination exceeds its step budget.
+
+    Theorem 4.3 proves termination, so hitting this indicates a bug or an
+    adversarially large task; the budget exists to fail loudly rather than
+    loop.
+    """
+
+
+@dataclass(frozen=True)
+class SplitPipelineResult:
+    """The outcome of iterated LAP elimination on a canonical task."""
+
+    original: Task
+    task: Task
+    steps: Tuple[SplitStep, ...]
+
+    @property
+    def n_splits(self) -> int:
+        return len(self.steps)
+
+    def project_vertex(self, v: Vertex) -> Vertex:
+        """Map an output vertex of the split task back to the original.
+
+        Split copies carry their history in their values, so projection is
+        simply recursive unwrapping.
+        """
+        return unsplit_vertex(v)
+
+
+def eliminate_laps(task: Task, max_steps: int = 10_000) -> SplitPipelineResult:
+    """Apply splitting deformations until the task is link-connected.
+
+    The task must be canonical (callers should use
+    :func:`link_connected_form` which handles canonicalization).  Facets
+    are processed in canonical order; within a facet, the first LAP in
+    canonical order is split each round, matching the constructive proof of
+    Theorem 4.3.
+    """
+    current = task
+    steps = []
+    for sigma in task.input_complex.facets:
+        budget = max_steps
+        while True:
+            laps = local_articulation_points(current, facet=sigma)
+            if not laps:
+                break
+            if budget <= 0:
+                raise SplittingDidNotConverge(
+                    f"LAP elimination for facet {sigma!r} exceeded {max_steps} steps"
+                )
+            budget -= 1
+            step = split_lap(current, laps[0], check=False)
+            steps.append(step)
+            current = step.after
+    return SplitPipelineResult(original=task, task=current, steps=tuple(steps))
+
+
+@dataclass(frozen=True)
+class TransformResult:
+    """Canonicalization + splitting, with projection back to the original.
+
+    Attributes
+    ----------
+    original:
+        The task handed in.
+    canonical:
+        Its canonical form (Section 3).
+    pipeline:
+        The LAP-elimination record on the canonical task.
+    task:
+        The final link-connected task ``T' = (I, O', Δ')``.
+    """
+
+    original: Task
+    canonical: CanonicalForm
+    pipeline: SplitPipelineResult
+    task: Task
+
+    @property
+    def n_splits(self) -> int:
+        return self.pipeline.n_splits
+
+    def project_vertex(self, v: Vertex) -> Vertex:
+        """Map a ``T'`` output vertex to an output vertex of the original task.
+
+        First un-split (Lemma 4.2 direction ``A_y → A``), then drop the
+        input coordinate added by canonicalization (Theorem 3.1).
+        """
+        return self.canonical.project_vertex(unsplit_vertex(v))
+
+
+def link_connected_form(task: Task, max_steps: int = 10_000) -> TransformResult:
+    """The full Section 3 + Section 4 transform of a task.
+
+    Returns a link-connected task with the same input complex and the same
+    solvability, together with the projection needed to pull protocols
+    back.  The output complex is restricted to its reachable part first
+    (the paper's standing assumption ``O = ∪_σ Δ(σ)``).
+    """
+    reachable = task.restrict_to_reachable()
+    canonical = canonicalize_if_needed(reachable)
+    if task.input_complex.dim == 2:
+        pipeline = eliminate_laps(canonical.task, max_steps=max_steps)
+    else:
+        # splitting is specific to three processes; lower dimensions need no
+        # LAP elimination for the characterization (Proposition 5.4)
+        pipeline = SplitPipelineResult(
+            original=canonical.task, task=canonical.task, steps=()
+        )
+    result = TransformResult(
+        original=task,
+        canonical=canonical,
+        pipeline=pipeline,
+        task=pipeline.task,
+    )
+    assert is_link_connected_task(result.task) or task.input_complex.dim != 2
+    return result

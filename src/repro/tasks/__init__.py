@@ -1,0 +1,37 @@
+"""Task model: ``(I, O, Δ)`` triples, canonical form, and the task zoo."""
+
+from .canonical import (
+    CanonicalForm,
+    canonicalize,
+    canonicalize_if_needed,
+    chromatic_product_simplex,
+    is_canonical,
+    product_vertex,
+    split_product_vertex,
+    unique_vertex_preimage,
+    vertex_preimages,
+)
+from .task import (
+    ColorlessTask,
+    Task,
+    TaskError,
+    delta_from_function,
+    task_from_function,
+)
+
+__all__ = [
+    "CanonicalForm",
+    "ColorlessTask",
+    "Task",
+    "TaskError",
+    "canonicalize",
+    "canonicalize_if_needed",
+    "chromatic_product_simplex",
+    "delta_from_function",
+    "is_canonical",
+    "product_vertex",
+    "split_product_vertex",
+    "task_from_function",
+    "unique_vertex_preimage",
+    "vertex_preimages",
+]

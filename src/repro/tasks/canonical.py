@@ -1,0 +1,199 @@
+"""Canonical tasks (Section 3 of the paper).
+
+A task is *canonical* when each output vertex is the image, under Δ, of a
+unique input vertex, and more generally when the images of distinct input
+simplices only overlap over their shared faces.  Canonical form is obtained
+by the *chromatic product* construction: each process outputs its input in
+addition to its decision, replacing every legal output simplex ``Y ∈ Δ(X)``
+by the paired simplex ``X × Y``.
+
+Theorem 3.1: ``T`` is solvable iff its canonical form ``T*`` is solvable.
+The :class:`CanonicalForm` wrapper carries the projection map needed to
+convert a protocol for ``T*`` back into one for ``T`` (and vice versa).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..topology.carrier import CarrierMap
+from ..topology.chromatic import ChromaticComplex
+from ..topology.complexes import SimplicialComplex
+from ..topology.maps import SimplicialMap
+from ..topology.simplex import Simplex, Vertex
+from .task import Task, TaskError
+
+
+def chromatic_product_simplex(x: Simplex, y: Simplex) -> Simplex:
+    """The paired simplex ``X × Y`` of two chromatic simplices with equal ids.
+
+    The vertex of color ``i`` becomes ``(i, (x_i, y_i))``.
+    """
+    if x.colors() != y.colors():
+        raise ValueError(f"cannot pair {x!r} with {y!r}: ids differ")
+    verts = []
+    for c in x.colors():
+        u = x.vertex_of_color(c)
+        v = y.vertex_of_color(c)
+        verts.append(Vertex(c, (u.value, v.value)))
+    return Simplex(verts)
+
+
+def product_vertex(u: Vertex, v: Vertex) -> Vertex:
+    """The product vertex ``(i, (x, y))`` of two same-colored vertices."""
+    if u.color != v.color:
+        raise ValueError(f"colors differ: {u!r} vs {v!r}")
+    return Vertex(u.color, (u.value, v.value))
+
+
+def split_product_vertex(w: Vertex) -> Tuple[Vertex, Vertex]:
+    """Invert :func:`product_vertex`."""
+    x_value, y_value = w.value
+    return Vertex(w.color, x_value), Vertex(w.color, y_value)
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """A canonical task ``T*`` together with its relation to the original.
+
+    Attributes
+    ----------
+    original:
+        The task that was canonicalized.
+    task:
+        The canonical task ``T* = (I, O*, Δ*)``.
+    projection:
+        The chromatic simplicial map ``O* → O`` dropping the input
+        coordinate; applying it to a protocol's decisions for ``T*`` yields
+        decisions for ``T`` (the easy direction of Theorem 3.1).
+    """
+
+    original: Task
+    task: Task
+    projection: SimplicialMap
+
+    def project_vertex(self, w: Vertex) -> Vertex:
+        """Map an ``O*`` vertex back to the original output vertex."""
+        return self.projection.vertex_image(w)
+
+    def lift_decision(self, input_vertex: Vertex, output_vertex: Vertex) -> Vertex:
+        """Map an original decision to the corresponding ``O*`` vertex."""
+        return product_vertex(input_vertex, output_vertex)
+
+    def preimage_input_vertex(self, w: Vertex) -> Vertex:
+        """The unique input vertex ``x`` with ``w ∈ Δ*(x)`` (Claim 1)."""
+        return unique_vertex_preimage(self.task, w)
+
+
+def vertex_preimages(task: Task, w: Vertex) -> Tuple[Vertex, ...]:
+    """All input vertices that can be credited with the output vertex ``w``.
+
+    An input vertex ``x`` is a preimage of ``w`` when some input simplex
+    ``τ`` containing ``x`` has ``w ∈ V(Δ(τ))`` and ``x`` is the vertex of
+    ``τ`` matching ``w``'s color.  For canonical tasks this set is a
+    singleton (Claim 1).
+    """
+    found = set()
+    for tau, img in task.delta.items():
+        if w not in set(img.vertices):
+            continue
+        try:
+            found.add(tau.vertex_of_color(w.color))
+        except KeyError:
+            continue
+    return tuple(sorted(found, key=lambda v: repr(v)))
+
+
+def unique_vertex_preimage(task: Task, w: Vertex) -> Vertex:
+    """The unique input vertex whose Δ-image accounts for ``w``.
+
+    Well-defined exactly for canonical tasks (Claim 1 of the paper); raises
+    :class:`TaskError` when the preimage is absent or ambiguous.
+    """
+    found = vertex_preimages(task, w)
+    if len(found) != 1:
+        raise TaskError(
+            f"output vertex {w!r} has {len(found)} vertex preimages; task is not canonical"
+        )
+    return found[0]
+
+
+def canonicalize(task: Task) -> CanonicalForm:
+    """Compute the canonical form ``T*`` of a task (Section 3).
+
+    ``O*`` is the subcomplex of the chromatic product ``I × O`` induced by
+    all ``X × Y`` with ``Y ∈ Δ(X)``; ``Δ*(X) = { X × Y : Y ∈ Δ(X) }``.
+    """
+    images: Dict[Simplex, SimplicialComplex] = {}
+    star_facets: List[Simplex] = []
+    for x, img in task.delta.items():
+        paired = []
+        for y in img.facets:
+            if y.colors() != x.colors():
+                raise TaskError(
+                    f"Δ({x!r}) contains {y!r} with mismatched ids; task is not chromatic"
+                )
+            paired.append(chromatic_product_simplex(x, y))
+        images[x] = SimplicialComplex(paired)
+        star_facets.extend(paired)
+    output_star = ChromaticComplex(
+        star_facets, name=f"{task.output_complex.name or 'O'}*"
+    )
+    delta_star = CarrierMap(task.input_complex, output_star, images, check=False)
+    star = Task(
+        task.input_complex,
+        output_star,
+        delta_star,
+        name=f"{task.name or 'T'}*",
+        check=False,
+    )
+    projection = SimplicialMap(
+        output_star,
+        task.output_complex,
+        {w: split_product_vertex(w)[1] for w in output_star.vertices},
+        check=False,
+    )
+    return CanonicalForm(original=task, task=star, projection=projection)
+
+
+def is_canonical(task: Task) -> bool:
+    """Whether a task already satisfies the canonical-form properties.
+
+    Checked conditions:
+
+    1. every reachable output vertex is accounted for by a *unique* input
+       vertex (the vertex of matching color in any input simplex whose image
+       contains it);
+    2. distinct input facets have no common facet in their images ("no facet
+       is in ``Δ*(σ1) ∩ Δ*(σ2)``", Section 3).
+    """
+    for w in task.reachable_outputs().vertices:
+        if len(vertex_preimages(task, w)) != 1:
+            return False
+    facets = task.input_complex.facets
+    for i, s1 in enumerate(facets):
+        img1 = task.delta(s1)
+        for s2 in facets[i + 1 :]:
+            shared = {f for f in img1.facets} & {f for f in task.delta(s2).facets}
+            if shared:
+                return False
+    return True
+
+
+def canonicalize_if_needed(task: Task) -> CanonicalForm:
+    """Return a :class:`CanonicalForm`, reusing the task when already canonical.
+
+    When the task is already canonical the wrapper's projection is the
+    identity on output vertices, so downstream code can treat both cases
+    uniformly.
+    """
+    if is_canonical(task):
+        identity = SimplicialMap(
+            task.output_complex,
+            task.output_complex,
+            {w: w for w in task.output_complex.vertices},
+            check=False,
+        )
+        return CanonicalForm(original=task, task=task, projection=identity)
+    return canonicalize(task)

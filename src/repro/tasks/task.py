@@ -1,0 +1,266 @@
+"""Distributed tasks ``(I, O, Δ)``.
+
+A *task* for ``n`` processes (Section 2.3 of the paper) is a triple of an
+``(n-1)``-dimensional chromatic input complex ``I``, an output complex
+``O`` of the same dimension, and a chromatic carrier map ``Δ : I → 2^O``
+specifying, for every input simplex, the legal output simplices with the
+same ids.  Solvability of a task in the wait-free read/write model is the
+question the whole library answers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, Mapping, Optional, Tuple, Union
+
+from ..topology.carrier import CarrierMap, CarrierMapError
+from ..topology.chromatic import ChromaticComplex, colorless_complex, strip_colors
+from ..topology.complexes import SimplicialComplex
+from ..topology.simplex import Simplex, Vertex
+
+
+class TaskError(ValueError):
+    """Raised when a task triple fails validation."""
+
+
+class Task:
+    """A chromatic task ``(I, O, Δ)``.
+
+    Parameters
+    ----------
+    input_complex, output_complex:
+        Pure chromatic complexes of equal dimension.
+    delta:
+        Either a ready :class:`CarrierMap` or a mapping from input simplices
+        to iterables of output simplices (closures are taken).
+    name:
+        Optional human-readable name.
+    check:
+        When true (default), run :meth:`validate`.
+    """
+
+    def __init__(
+        self,
+        input_complex: ChromaticComplex,
+        output_complex: ChromaticComplex,
+        delta: Union[CarrierMap, Mapping],
+        name: Optional[str] = None,
+        check: bool = True,
+    ):
+        self.input_complex = input_complex
+        self.output_complex = output_complex
+        if isinstance(delta, CarrierMap):
+            self.delta = delta
+        else:
+            self.delta = CarrierMap(input_complex, output_complex, delta, check=False)
+        self.name = name
+        if check:
+            self.validate()
+
+    # -- validation -----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the task triple against the paper's definition.
+
+        Verifies: chromatic complexes, purity, equal dimension, Δ being a
+        monotonic chromatic carrier map with rigid (pure, dimension-
+        preserving) nonempty images, and Δ's domain/codomain being the
+        task's complexes.
+        """
+        if not isinstance(self.input_complex, SimplicialComplex) or not isinstance(
+            self.output_complex, SimplicialComplex
+        ):
+            raise TaskError("input and output must be simplicial complexes")
+        if not self.input_complex.is_chromatic():
+            raise TaskError("input complex is not chromatic")
+        if not self.output_complex.is_chromatic():
+            raise TaskError("output complex is not chromatic")
+        if not self.input_complex.is_pure():
+            raise TaskError("input complex is not pure")
+        if self.input_complex.dim != self.output_complex.dim:
+            raise TaskError(
+                f"dimension mismatch: input dim {self.input_complex.dim}, "
+                f"output dim {self.output_complex.dim}"
+            )
+        if self.delta.domain != self.input_complex:
+            raise TaskError("Δ's domain is not the input complex")
+        if self.delta.codomain != self.output_complex:
+            raise TaskError("Δ's codomain is not the output complex")
+        try:
+            self.delta.validate()
+        except CarrierMapError as exc:
+            raise TaskError(f"Δ is not a carrier map: {exc}") from exc
+        if not self.delta.is_strict():
+            missing = [s for s, img in self.delta.items() if not img]
+            raise TaskError(f"Δ has empty images, e.g. for {missing[0]!r}")
+        if not self.delta.is_rigid():
+            raise TaskError("Δ is not rigid (some image is impure or of wrong dimension)")
+        if not self.delta.is_chromatic():
+            raise TaskError("Δ is not chromatic (some image has mismatched colors)")
+
+    # -- structure --------------------------------------------------------------
+
+    @property
+    def n_processes(self) -> int:
+        """Number of processes: ``dim(I) + 1``."""
+        return self.input_complex.dim + 1
+
+    @property
+    def colors(self) -> FrozenSet[int]:
+        """Process ids appearing in the input complex."""
+        return self.input_complex.colors()
+
+    def input_facets(self) -> Tuple[Simplex, ...]:
+        """Facets of the input complex (the full-participation inputs)."""
+        return self.input_complex.facets
+
+    def outputs_for(self, sigma) -> SimplicialComplex:
+        """``Δ(σ)``: the legal outputs for an input simplex."""
+        if not isinstance(sigma, Simplex):
+            sigma = Simplex(sigma)
+        return self.delta(sigma)
+
+    def reachable_outputs(self) -> SimplicialComplex:
+        """``∪_σ Δ(σ)``: the part of ``O`` an algorithm could ever decide."""
+        return self.delta.image()
+
+    def restrict_to_reachable(self) -> "Task":
+        """The same task with ``O`` shrunk to the reachable subcomplex.
+
+        Section 4 assumes all of ``O`` is reachable; unreachable simplices
+        can clearly be omitted.
+        """
+        reachable = self.reachable_outputs()
+        out = ChromaticComplex(reachable.facets, name=self.output_complex.name)
+        delta = CarrierMap(
+            self.input_complex,
+            out,
+            {s: img for s, img in self.delta.items()},
+            check=False,
+        )
+        return Task(self.input_complex, out, delta, name=self.name, check=False)
+
+    def is_output_reachable(self) -> bool:
+        """Whether ``O`` equals the union of the images of Δ."""
+        return self.reachable_outputs() == SimplicialComplex(self.output_complex.facets)
+
+    # -- output checking (used by the simulation harness) ----------------------
+
+    def is_legal_output(self, sigma: Simplex, decisions: Mapping[int, Vertex]) -> bool:
+        """Whether per-process decisions are legal for input simplex ``σ``.
+
+        ``decisions`` maps participating process ids to decided output
+        vertices; the decided vertices must form a simplex of ``Δ(σ)`` and
+        each process must decide a vertex of its own color.
+        """
+        if set(decisions.keys()) != set(sigma.colors()):
+            return False
+        for pid, v in decisions.items():
+            if not isinstance(v, Vertex) or v.color != pid:
+                return False
+        return Simplex(decisions.values()) in self.delta(sigma)
+
+    # -- colorless projection (Section 5.2) -------------------------------------
+
+    def colorless_variant(self) -> "ColorlessTask":
+        """The colorless variant used by the color-agnostic step.
+
+        Inputs and outputs become value sets; Δ maps a value set to every
+        output value set obtainable by stripping colors from a legal output
+        of *some* input simplex with those values.
+        """
+        in_c = colorless_complex(self.input_complex)
+        out_c = colorless_complex(self.output_complex)
+        images: Dict[Simplex, set] = {}
+        for sigma, img in self.delta.items():
+            key = Simplex(strip_colors(sigma))
+            bucket = images.setdefault(key, set())
+            for f in img.facets:
+                bucket.add(Simplex(strip_colors(f)))
+        carrier = CarrierMap(
+            in_c,
+            out_c,
+            {k: SimplicialComplex(v) for k, v in images.items()},
+            check=False,
+        ).monotonize()
+        return ColorlessTask(in_c, out_c, carrier, name=f"colorless({self.name})")
+
+    # -- protocol ------------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Task):
+            return NotImplemented
+        return (
+            self.input_complex == other.input_complex
+            and self.output_complex == other.output_complex
+            and self.delta == other.delta
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.input_complex, self.output_complex, self.delta))
+
+    def __repr__(self) -> str:
+        label = self.name or "Task"
+        return (
+            f"{label}(n={self.n_processes}, |I|={len(self.input_complex.facets)} facets, "
+            f"|O|={len(self.output_complex.facets)} facets)"
+        )
+
+
+class ColorlessTask:
+    """A colorless task: complexes of value sets, no process ids.
+
+    Used on the colorless side of the characterization (Section 5.2): once
+    the output complex is link-connected, chromatic solvability coincides
+    with solvability of this variant.
+    """
+
+    def __init__(
+        self,
+        input_complex: SimplicialComplex,
+        output_complex: SimplicialComplex,
+        delta: Union[CarrierMap, Mapping],
+        name: Optional[str] = None,
+    ):
+        self.input_complex = input_complex
+        self.output_complex = output_complex
+        if isinstance(delta, CarrierMap):
+            self.delta = delta
+        else:
+            self.delta = CarrierMap(input_complex, output_complex, delta, check=False)
+        self.name = name
+
+    def __repr__(self) -> str:
+        label = self.name or "ColorlessTask"
+        return (
+            f"{label}(|I|={len(self.input_complex.facets)} facets, "
+            f"|O|={len(self.output_complex.facets)} facets)"
+        )
+
+
+def delta_from_function(
+    input_complex: ChromaticComplex,
+    output_complex: ChromaticComplex,
+    rule: Callable[[Simplex], Iterable],
+) -> CarrierMap:
+    """Build Δ by evaluating ``rule`` on every input simplex.
+
+    ``rule(σ)`` returns the facets of ``Δ(σ)`` (iterable of simplices or
+    vertex iterables).  This is the main convenience used by the task zoo.
+    """
+    images = {}
+    for s in input_complex.simplices():
+        facets = [f if isinstance(f, Simplex) else Simplex(f) for f in rule(s)]
+        images[s] = SimplicialComplex(facets)
+    return CarrierMap(input_complex, output_complex, images, check=False)
+
+
+def task_from_function(
+    input_complex: ChromaticComplex,
+    output_complex: ChromaticComplex,
+    rule: Callable[[Simplex], Iterable],
+    name: Optional[str] = None,
+    check: bool = True,
+) -> Task:
+    """Shorthand: build a :class:`Task` whose Δ comes from ``rule``."""
+    delta = delta_from_function(input_complex, output_complex, rule)
+    return Task(input_complex, output_complex, delta, name=name, check=check)

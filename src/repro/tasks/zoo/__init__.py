@@ -1,0 +1,81 @@
+"""The task zoo: every task discussed in the paper, plus baselines.
+
+* Figure 1 — :func:`majority_consensus_task`
+* Figure 2 — :func:`hourglass_task`
+* Figure 3 — :func:`figure3_task`
+* Figure 8 — :func:`pinwheel_task`
+* baselines — consensus, k-set agreement, loop agreement, identity,
+  constant, two-process tasks, seeded random tasks
+"""
+
+from .approximate import approximate_agreement_task
+from .builders import (
+    chromatic_facets_over_values,
+    full_input_complex,
+    participants,
+    simplex_values,
+    single_facet_input,
+)
+from .consensus import (
+    consensus_task,
+    inputless_set_agreement_task,
+    set_agreement_task,
+)
+from .hourglass import (
+    HOURGLASS_TRIANGLES,
+    hourglass_articulation_vertex,
+    hourglass_task,
+)
+from .loop_agreement import (
+    Loop,
+    annulus_loop,
+    loop_agreement_task,
+    projective_plane_loop,
+    triangle_loop,
+)
+from .majority import majority_consensus_task
+from .pinwheel import pinwheel_task, pinwheel_triangles
+from .random_tasks import (
+    random_multi_facet_task,
+    random_output_complex,
+    random_single_input_task,
+    random_sparse_task,
+)
+from .simple import constant_task, figure3_task, identity_task
+from .synthetic import fan_task
+from .test_and_set import test_and_set_task
+from .two_process import path_task, two_process_fork_task
+
+__all__ = [
+    "HOURGLASS_TRIANGLES",
+    "approximate_agreement_task",
+    "Loop",
+    "annulus_loop",
+    "chromatic_facets_over_values",
+    "consensus_task",
+    "constant_task",
+    "fan_task",
+    "figure3_task",
+    "full_input_complex",
+    "hourglass_articulation_vertex",
+    "hourglass_task",
+    "identity_task",
+    "inputless_set_agreement_task",
+    "loop_agreement_task",
+    "majority_consensus_task",
+    "participants",
+    "path_task",
+    "pinwheel_task",
+    "projective_plane_loop",
+    "pinwheel_triangles",
+    "random_multi_facet_task",
+    "random_output_complex",
+    "random_single_input_task",
+    "random_sparse_task",
+    "set_agreement_task",
+    "simplex_values",
+    "test_and_set_task",
+    "single_facet_input",
+    "triangle_loop",
+    "two_process_fork_task",
+]

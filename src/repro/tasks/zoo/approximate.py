@@ -1,0 +1,53 @@
+"""Approximate agreement with resolution ``1/k``.
+
+Processes start with binary inputs (0 or 1) and must decide multiples of
+``1/k`` (represented as integers ``0 … k``) that are (a) within the range
+of the participants' inputs and (b) pairwise at most ``1/k`` apart.
+
+Approximate agreement is the classical *solvable-but-not-in-zero-rounds*
+task: unlike consensus, the output complex is connected, but reaching
+resolution ``1/k`` requires more and more immediate-snapshot rounds.  In
+this library it exercises the iterative-deepening side of the decision
+procedure — the witness subdivision depth grows with ``k`` — and provides
+the parameter sweep for the decision benchmark.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+from ...topology.chromatic import ChromaticComplex
+from ...topology.simplex import Simplex, Vertex
+from ..task import Task, task_from_function
+from .builders import full_input_complex, simplex_values
+
+_N = 3
+
+
+def approximate_agreement_task(k: int = 2, name: str = None) -> Task:
+    """Build three-process approximate agreement with resolution ``1/k``.
+
+    Output value ``j`` stands for the rational ``j/k``; legal simplices
+    have values within the input range and spread at most 1 (i.e. ``1/k``).
+    """
+    if k < 1:
+        raise ValueError("resolution denominator k must be positive")
+    inputs = full_input_complex(_N, (0, 1), name="I_approx")
+    out_facets = []
+    for combo in itertools.product(range(k + 1), repeat=_N):
+        if max(combo) - min(combo) <= 1:
+            out_facets.append(Simplex(Vertex(i, v) for i, v in enumerate(combo)))
+    outputs = ChromaticComplex(out_facets, name=f"O_approx_{k}")
+
+    def rule(sigma: Simplex) -> Iterable[Simplex]:
+        ids = sorted(sigma.colors())
+        lo = k * min(simplex_values(sigma))
+        hi = k * max(simplex_values(sigma))
+        for combo in itertools.product(range(lo, hi + 1), repeat=len(ids)):
+            if combo and max(combo) - min(combo) <= 1:
+                yield Simplex(Vertex(i, v) for i, v in zip(ids, combo))
+
+    return task_from_function(
+        inputs, outputs, rule, name=name or f"approx-agreement(1/{k})"
+    ).restrict_to_reachable()

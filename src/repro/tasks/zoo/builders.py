@@ -1,0 +1,69 @@
+"""Shared constructors for the task zoo.
+
+These helpers build the input complexes that recur across the zoo: the
+*full* input complex where every process may start with any value from a
+domain, and the *inputless* single-facet complex where process ``i`` starts
+with a fixed value.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Iterable, Sequence, Tuple
+
+from ...topology.chromatic import ChromaticComplex
+from ...topology.simplex import Simplex, Vertex
+
+
+def full_input_complex(n: int, values: Iterable[Hashable], name: str = "I") -> ChromaticComplex:
+    """All assignments of values to ``n`` processes.
+
+    Facets are ``{(0, v_0), …, (n-1, v_{n-1})}`` over every choice of
+    ``v_i`` from ``values``; the complex is the chromatic "pseudo-sphere"
+    over the value set.
+    """
+    vals = tuple(values)
+    if not vals:
+        raise ValueError("need at least one input value")
+    facets = []
+    for combo in itertools.product(vals, repeat=n):
+        facets.append(Simplex(Vertex(i, v) for i, v in enumerate(combo)))
+    return ChromaticComplex(facets, name=name)
+
+
+def single_facet_input(
+    n: int, values: Sequence[Hashable] = None, name: str = "I"
+) -> ChromaticComplex:
+    """A single input facet (the *inputless* setting of the paper).
+
+    Process ``i`` starts with ``values[i]``; by default its own id.
+    """
+    if values is None:
+        values = tuple(range(n))
+    if len(values) != n:
+        raise ValueError(f"need exactly {n} values, got {len(values)}")
+    return ChromaticComplex(
+        [Simplex(Vertex(i, v) for i, v in enumerate(values))], name=name
+    )
+
+
+def chromatic_facets_over_values(
+    n: int, value_sets: Iterable[Tuple[Hashable, ...]]
+) -> Tuple[Simplex, ...]:
+    """Chromatic facets ``{(i, v_i)}`` for each value tuple in ``value_sets``."""
+    out = []
+    for combo in value_sets:
+        if len(combo) != n:
+            raise ValueError(f"value tuple {combo!r} has wrong arity")
+        out.append(Simplex(Vertex(i, v) for i, v in enumerate(combo)))
+    return tuple(out)
+
+
+def simplex_values(s: Simplex) -> frozenset:
+    """The set of values carried by a chromatic simplex."""
+    return frozenset(v.value for v in s.vertices)
+
+
+def participants(s: Simplex) -> frozenset:
+    """The ids of a chromatic simplex (alias for readability in Δ rules)."""
+    return s.colors()

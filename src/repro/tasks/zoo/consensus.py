@@ -1,0 +1,100 @@
+"""Consensus and k-set agreement tasks.
+
+Consensus [FLP85] requires all participating processes to decide a common
+input value; ``k``-set agreement [Chaudhuri93] relaxes this to at most
+``k`` distinct decided values.  Both are the canonical *colorless* tasks;
+they are included as baselines for the decision procedure (consensus and
+2-set agreement are wait-free unsolvable for three processes, 3-set
+agreement is trivially solvable) and as building blocks for the pinwheel
+task of Figure 8.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Iterable, Sequence
+
+from ...topology.simplex import Simplex, Vertex
+from ..task import Task, task_from_function
+from .builders import full_input_complex, simplex_values
+from ...topology.chromatic import ChromaticComplex
+
+
+def consensus_task(n: int, values: Sequence[Hashable] = (0, 1), name: str = None) -> Task:
+    """Binary (or multi-valued) consensus for ``n`` processes.
+
+    Validity: the decided value is the input of some participating
+    process.  Agreement: all participants decide the same value.
+    """
+    values = tuple(values)
+    inputs = full_input_complex(n, values, name="I_consensus")
+    out_facets = [
+        Simplex(Vertex(i, v) for i in range(n)) for v in values
+    ]
+    outputs = ChromaticComplex(out_facets, name="O_consensus")
+
+    def rule(sigma: Simplex) -> Iterable[Simplex]:
+        ids = sorted(sigma.colors())
+        for v in sorted(simplex_values(sigma), key=repr):
+            yield Simplex(Vertex(i, v) for i in ids)
+
+    return task_from_function(
+        inputs, outputs, rule, name=name or f"consensus(n={n})"
+    )
+
+
+def set_agreement_task(
+    n: int, k: int, values: Sequence[Hashable] = None, name: str = None
+) -> Task:
+    """``k``-set agreement for ``n`` processes.
+
+    Validity: every decided value is some participant's input.  Agreement:
+    at most ``k`` distinct values are decided.  With ``values`` omitted the
+    inputs range over ``0 … n-1``.
+    """
+    if not 1 <= k <= n:
+        raise ValueError("need 1 <= k <= n")
+    values = tuple(values) if values is not None else tuple(range(n))
+    inputs = full_input_complex(n, values, name=f"I_{k}set")
+
+    out_facets = []
+    for combo in itertools.product(values, repeat=n):
+        if len(set(combo)) <= k:
+            out_facets.append(Simplex(Vertex(i, v) for i, v in enumerate(combo)))
+    outputs = ChromaticComplex(out_facets, name=f"O_{k}set")
+
+    def rule(sigma: Simplex) -> Iterable[Simplex]:
+        ids = sorted(sigma.colors())
+        vals = sorted(simplex_values(sigma), key=repr)
+        for combo in itertools.product(vals, repeat=len(ids)):
+            if len(set(combo)) <= k:
+                yield Simplex(Vertex(i, v) for i, v in zip(ids, combo))
+
+    return task_from_function(
+        inputs, outputs, rule, name=name or f"{k}-set-agreement(n={n})"
+    )
+
+
+def inputless_set_agreement_task(n: int, k: int, name: str = None) -> Task:
+    """``k``-set agreement restricted to the single input where process ``i``
+    starts with value ``i`` (the *inputless* form used by Figure 8)."""
+    from .builders import single_facet_input
+
+    inputs = single_facet_input(n, name=f"I_{k}set_inputless")
+    values = tuple(range(n))
+    out_facets = []
+    for combo in itertools.product(values, repeat=n):
+        if len(set(combo)) <= k:
+            out_facets.append(Simplex(Vertex(i, v) for i, v in enumerate(combo)))
+    outputs = ChromaticComplex(out_facets, name=f"O_{k}set")
+
+    def rule(sigma: Simplex) -> Iterable[Simplex]:
+        ids = sorted(sigma.colors())
+        vals = sorted(simplex_values(sigma), key=repr)
+        for combo in itertools.product(vals, repeat=len(ids)):
+            if len(set(combo)) <= k:
+                yield Simplex(Vertex(i, v) for i, v in zip(ids, combo))
+
+    return task_from_function(
+        inputs, outputs, rule, name=name or f"inputless-{k}-set-agreement(n={n})"
+    ).restrict_to_reachable()

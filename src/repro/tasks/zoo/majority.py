@@ -1,0 +1,57 @@
+"""The majority consensus task (Figure 1 of the paper).
+
+Three processes start with binary inputs and each decides a value that
+appeared as an input of a participant.  When all three participate, either
+all decide the same value or strictly more processes decide 0 than 1.
+
+The paper uses this task to show the failure of the naive continuous-map
+characterization for chromatic tasks: majority consensus satisfies the
+colorless-ACT condition yet is wait-free unsolvable.  After splitting the
+local articulation points, the deformed output complex ``O'`` falls into
+two connected components and Corollary 5.5 applies.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+from ...topology.chromatic import ChromaticComplex
+from ...topology.simplex import Simplex, Vertex
+from ..task import Task, task_from_function
+from .builders import full_input_complex, simplex_values
+
+_N = 3
+
+
+def _allowed_triple(decisions: tuple) -> bool:
+    """All equal, or strictly more zeros than ones."""
+    if len(set(decisions)) == 1:
+        return True
+    zeros = sum(1 for d in decisions if d == 0)
+    ones = sum(1 for d in decisions if d == 1)
+    return zeros > ones
+
+
+def majority_consensus_task(name: str = "majority-consensus") -> Task:
+    """Build the majority consensus task of Figure 1."""
+    inputs = full_input_complex(_N, (0, 1), name="I_majority")
+    out_facets = []
+    for combo in itertools.product((0, 1), repeat=_N):
+        if _allowed_triple(combo):
+            out_facets.append(Simplex(Vertex(i, v) for i, v in enumerate(combo)))
+    outputs = ChromaticComplex(out_facets, name="O_majority")
+
+    def rule(sigma: Simplex) -> Iterable[Simplex]:
+        ids = sorted(sigma.colors())
+        vals = sorted(simplex_values(sigma))
+        for combo in itertools.product(vals, repeat=len(ids)):
+            if len(ids) == _N and not _allowed_triple(combo):
+                continue
+            candidate = Simplex(Vertex(i, v) for i, v in zip(ids, combo))
+            # fewer than three participants: any valid-value combination
+            # whose simplex exists in O (i.e. extends to an allowed triple)
+            if candidate in outputs:
+                yield candidate
+
+    return task_from_function(inputs, outputs, rule, name=name)

@@ -1,0 +1,98 @@
+"""The pinwheel task (Figure 8 of the paper).
+
+The pinwheel is obtained from *inputless* 2-set agreement for three
+processes (process ``i`` starts with value ``i``) by removing output
+triangles while leaving every output edge (two-process behaviour) intact.
+It is a subtask of 2-set agreement — hence wait-free unsolvable — but the
+paper derives the impossibility from its articulation-point structure:
+splitting the LAPs leaves an output complex ``O'`` with **three** connected
+components, and no component contains copies of all three solo-decision
+vertices, so Corollary 5.6's cycle argument applies.
+
+The paper's figure does not list the removed triangles.  The set used here
+was found by exhaustive search over the subsets of the 21 candidate
+triangles that are symmetric under the rotation ``(i, v) → (i+1, v+1)``
+(mod 3) and retain all 27 edges, requiring exactly the properties stated
+in Section 6.2:
+
+* each solo-decision vertex ``(i, i)`` is a LAP with exactly two link
+  components (two copies after splitting);
+* the split complex has exactly three connected components;
+* every component contains copies of exactly two of the three
+  solo-decision vertices ("neither of the copies of output vertex 3 is in
+  the yellow component");
+* the four-edge output cycle of each input edge is broken (not removed) by
+  the splitting.
+
+Two chiral solutions exist; this module uses the one keeping, besides the
+three monochromatic triangles, the orbits of ``(0,0,1)``, ``(0,1,0)`` and
+``(1,0,0)``.  See EXPERIMENTS.md for the reconstruction notes, including
+the Corollary 5.5 vs 5.6 nuance introduced by monotonization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ...topology.carrier import CarrierMap
+from ...topology.chromatic import ChromaticComplex
+from ...topology.complexes import SimplicialComplex
+from ...topology.simplex import Simplex, Vertex
+from ..task import Task
+from .builders import single_facet_input
+
+#: Decision-value triples ``(v_0, v_1, v_2)`` of the kept output triangles.
+PINWHEEL_VALUE_TRIPLES: Tuple[Tuple[int, int, int], ...] = (
+    # monochromatic triangles
+    (0, 0, 0),
+    (1, 1, 1),
+    (2, 2, 2),
+    # orbit of (0, 0, 1) under (i, v) -> (i+1, v+1)
+    (0, 0, 1),
+    (2, 0, 2),
+    (2, 1, 1),
+    # orbit of (0, 1, 0)
+    (0, 1, 0),
+    (0, 2, 2),
+    (1, 1, 2),
+    # orbit of (1, 0, 0)
+    (1, 0, 0),
+    (1, 2, 1),
+    (2, 2, 0),
+)
+
+
+def pinwheel_triangles() -> Tuple[Simplex, ...]:
+    """The twelve output triangles of the pinwheel task."""
+    return tuple(
+        Simplex(Vertex(i, v) for i, v in enumerate(triple))
+        for triple in PINWHEEL_VALUE_TRIPLES
+    )
+
+
+def pinwheel_task(name: str = "pinwheel") -> Task:
+    """Build the pinwheel task of Figure 8.
+
+    Solo runs decide the own input; two-process runs may decide any
+    combination of the two inputs (the intact 4-cycle); full runs decide
+    any kept triangle.
+    """
+    triangles = pinwheel_triangles()
+    outputs = ChromaticComplex(triangles, name="O_pinwheel")
+    inputs = single_facet_input(3, name="I_pinwheel")
+
+    images: Dict[Simplex, SimplicialComplex] = {}
+    for tau in inputs.simplices():
+        ids = sorted(tau.colors())
+        if len(ids) == 1:
+            (i,) = ids
+            images[tau] = SimplicialComplex([Simplex([Vertex(i, i)])])
+        elif len(ids) == 2:
+            i, j = ids
+            images[tau] = SimplicialComplex(
+                Simplex([Vertex(i, a), Vertex(j, b)]) for a in (i, j) for b in (i, j)
+            )
+        else:
+            images[tau] = SimplicialComplex(triangles)
+    delta = CarrierMap(inputs, outputs, images, check=False)
+    return Task(inputs, outputs, delta, name=name)

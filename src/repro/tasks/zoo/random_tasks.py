@@ -1,0 +1,165 @@
+"""Seeded random task generation.
+
+Random tasks drive the solvability-preservation experiment (Figure 6 /
+Lemma 4.2: splitting must not change the verdict) and the property-based
+tests.  Generation strategy: sample a random pure 2-dimensional chromatic
+output complex over small value ranges, pick random facet images for each
+input facet, then close downward (``Δ(τ)`` = faces of the chosen facets
+restricted to ``τ``'s ids, intersected over all containing facets to force
+monotonicity), retrying until the result validates as a task.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from ...topology.carrier import CarrierMap
+from ...topology.chromatic import ChromaticComplex
+from ...topology.complexes import SimplicialComplex
+from ...topology.simplex import Simplex, Vertex
+from ..task import Task, TaskError
+from .builders import single_facet_input
+
+
+def _faces_with_ids(complex_: SimplicialComplex, ids: frozenset) -> SimplicialComplex:
+    """The subcomplex of simplices whose color set is exactly ``ids``, closed."""
+    picked = [s for s in complex_.simplices() if s.colors() == ids]
+    return SimplicialComplex(picked)
+
+
+def random_output_complex(
+    rng: random.Random, n_values: int = 3, n_facets: int = 6
+) -> ChromaticComplex:
+    """A random pure 2-dimensional chromatic complex.
+
+    Facets are triples ``{(0,a),(1,b),(2,c)}`` with values sampled from
+    ``range(n_values)``; duplicates collapse, so the result may have fewer
+    facets than requested.
+    """
+    facets = set()
+    while len(facets) < n_facets:
+        combo = tuple(rng.randrange(n_values) for _ in range(3))
+        facets.add(Simplex(Vertex(i, v) for i, v in enumerate(combo)))
+    return ChromaticComplex(facets, name="O_random")
+
+
+def random_single_input_task(
+    seed: int, n_values: int = 3, n_facets: int = 6, image_size: int = 3
+) -> Task:
+    """A random three-process task with a single input facet.
+
+    ``image_size`` bounds how many output facets the full-participation
+    image contains.  Lower-dimensional images are the induced faces, which
+    makes Δ monotone and rigid by construction.
+    """
+    rng = random.Random(seed)
+    inputs = single_facet_input(3, values=("x0", "x1", "x2"), name="I_random")
+    for _ in range(200):
+        outputs = random_output_complex(rng, n_values=n_values, n_facets=n_facets)
+        chosen = rng.sample(list(outputs.facets), min(image_size, len(outputs.facets)))
+        image = SimplicialComplex(chosen)
+        outputs = ChromaticComplex(image.facets, name="O_random")
+        images: Dict[Simplex, SimplicialComplex] = {}
+        for tau in inputs.simplices():
+            images[tau] = _faces_with_ids(image, tau.colors())
+        delta = CarrierMap(inputs, outputs, images, check=False)
+        try:
+            return Task(inputs, outputs, delta, name=f"random(seed={seed})")
+        except TaskError:
+            continue
+    raise RuntimeError(f"could not generate a valid random task for seed {seed}")
+
+
+def random_multi_facet_task(
+    seed: int, n_values: int = 2, image_size: int = 2
+) -> Task:
+    """A random three-process task whose input complex has several facets.
+
+    The input complex is the full binary assignment complex (8 facets
+    sharing faces); each input facet gets a random set of output facets,
+    and lower-dimensional images are intersections of the incident facet
+    images (restricted to matching ids), which forces monotonicity.
+    Retries until the construction validates, so shared faces always admit
+    common outputs.  These tasks exercise the multi-facet paths of
+    canonicalization and splitting that single-facet generators miss.
+    """
+    from .builders import full_input_complex
+
+    rng = random.Random(seed ^ 0xFACE7)
+    inputs = full_input_complex(3, tuple(range(n_values)), name="I_multi")
+    for _ in range(500):
+        outputs = random_output_complex(rng, n_values=3, n_facets=6)
+        # a shared anchor facet keeps the images of neighboring input
+        # facets compatible on their common faces (monotone + strict)
+        anchor = rng.choice(list(outputs.facets))
+        facet_images: Dict[Simplex, List[Simplex]] = {}
+        for sigma in inputs.facets:
+            extra = rng.sample(
+                list(outputs.facets), min(image_size - 1, len(outputs.facets))
+            )
+            facet_images[sigma] = [anchor] + extra
+        images: Dict[Simplex, SimplicialComplex] = {}
+        for tau in inputs.simplices():
+            inter: Optional[SimplicialComplex] = None
+            for sigma in inputs.facets:
+                if not tau <= sigma:
+                    continue
+                proj = _faces_with_ids(
+                    SimplicialComplex(facet_images[sigma]), tau.colors()
+                )
+                inter = proj if inter is None else inter.intersection(proj)
+            images[tau] = inter if inter is not None else SimplicialComplex.empty()
+        delta = CarrierMap(inputs, outputs, images, check=False)
+        try:
+            task = Task(inputs, outputs, delta, name=f"random-multi(seed={seed})")
+            return task.restrict_to_reachable()
+        except TaskError:
+            continue
+    raise RuntimeError(f"could not generate a multi-facet random task for seed {seed}")
+
+
+def random_sparse_task(
+    seed: int, n_values: int = 3, n_facets: int = 7, drop_edges: int = 2
+) -> Task:
+    """A random task whose lower-dimensional images are thinned.
+
+    Starting from :func:`random_single_input_task`'s construction, random
+    facets are removed from the edge-level images (keeping at least one and
+    re-closing vertices by intersection), producing tasks with less
+    regular Δ — a richer source of LAPs for the splitting pipeline.
+    """
+    rng = random.Random(seed ^ 0x5EED)
+    for attempt in range(200):
+        base = random_single_input_task(
+            rng.randrange(1 << 30), n_values=n_values, n_facets=n_facets
+        )
+        inputs = base.input_complex
+        images: Dict[Simplex, SimplicialComplex] = {
+            tau: base.delta(tau) for tau in inputs.simplices()
+        }
+        for tau in inputs.simplices(dim=1):
+            img_facets: List[Simplex] = list(images[tau].facets)
+            rng.shuffle(img_facets)
+            keep = img_facets[: max(1, len(img_facets) - drop_edges)]
+            images[tau] = SimplicialComplex(keep)
+        # re-derive vertex images as intersections of incident edge images
+        for x in inputs.simplices(dim=0):
+            inter: Optional[SimplicialComplex] = None
+            for e in inputs.simplices(dim=1):
+                if x <= e:
+                    proj = _faces_with_ids(images[e], x.colors())
+                    inter = proj if inter is None else inter.intersection(proj)
+            if inter is not None:
+                images[x] = inter
+        try:
+            delta = CarrierMap(base.input_complex, base.output_complex, images, check=False)
+            return Task(
+                base.input_complex,
+                base.output_complex,
+                delta,
+                name=f"random-sparse(seed={seed})",
+            )
+        except TaskError:
+            continue
+    raise RuntimeError(f"could not generate a sparse random task for seed {seed}")

@@ -1,0 +1,81 @@
+"""The running-example task of Figure 3 and trivial baseline tasks.
+
+Figure 3 shows a small task whose Δ is *not* canonical: a green output
+facet lies in the image of two distinct input facets, and its ``P0``
+(black) vertex lies in the Δ-image of both black input vertices.
+Canonicalizing it (Figure 4) duplicates that facet, one copy per input
+facet.  The exact complexes in the figure are not enumerated in the text;
+this reconstruction keeps the stated features: two input facets sharing
+the white–gray edge, a green facet shared by both images, and a second
+facet private to one of them.
+
+The module also provides the trivial baselines: the *identity* task
+(decide your own input; solvable by doing nothing) and the *constant*
+task.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Sequence
+
+from ...topology.carrier import CarrierMap
+from ...topology.chromatic import ChromaticComplex
+from ...topology.complexes import SimplicialComplex
+from ...topology.simplex import Simplex, Vertex
+from ..task import Task, task_from_function
+from .builders import full_input_complex
+
+
+def figure3_task(name: str = "figure3") -> Task:
+    """The simple (non-canonical) running-example task of Figure 3."""
+    sigma = Simplex([Vertex(0, "p"), Vertex(1, "q"), Vertex(2, "r")])
+    sigma_prime = Simplex([Vertex(0, "p'"), Vertex(1, "q"), Vertex(2, "r")])
+    inputs = ChromaticComplex([sigma, sigma_prime], name="I_fig3")
+
+    green = Simplex([Vertex(0, "g0"), Vertex(1, "g1"), Vertex(2, "g2")])
+    blue = Simplex([Vertex(0, "h0"), Vertex(1, "g1"), Vertex(2, "h2")])
+    outputs = ChromaticComplex([green, blue], name="O_fig3")
+
+    def faces_with_ids(facets: Iterable[Simplex], ids: frozenset) -> SimplicialComplex:
+        picked = []
+        for f in facets:
+            picked.append(Simplex(v for v in f.vertices if v.color in ids))
+        return SimplicialComplex(picked)
+
+    images: Dict[Simplex, SimplicialComplex] = {}
+    for tau in inputs.simplices():
+        ids = tau.colors()
+        if tau <= sigma and tau <= sigma_prime:
+            # shared faces (white-gray edge and its vertices) must map into
+            # the intersection of both facet images to keep Δ monotone
+            images[tau] = faces_with_ids([green], ids)
+        elif tau <= sigma:
+            images[tau] = faces_with_ids([green, blue], ids)
+        else:
+            images[tau] = faces_with_ids([green], ids)
+    delta = CarrierMap(inputs, outputs, images, check=False)
+    return Task(inputs, outputs, delta, name=name)
+
+
+def identity_task(n: int, values: Sequence[Hashable] = (0, 1), name: str = None) -> Task:
+    """Each process decides its own input — solvable without communication."""
+    inputs = full_input_complex(n, values, name="I_id")
+    outputs = full_input_complex(n, values, name="O_id")
+
+    def rule(sigma: Simplex) -> Iterable[Simplex]:
+        yield sigma
+
+    return task_from_function(inputs, outputs, rule, name=name or f"identity(n={n})")
+
+
+def constant_task(n: int, values: Sequence[Hashable] = (0, 1), constant: Hashable = 0,
+                  name: str = None) -> Task:
+    """Every process decides the fixed value ``constant``."""
+    inputs = full_input_complex(n, values, name="I_const")
+    facet = Simplex(Vertex(i, constant) for i in range(n))
+    outputs = ChromaticComplex([facet], name="O_const")
+
+    def rule(sigma: Simplex) -> Iterable[Simplex]:
+        yield Simplex(Vertex(i, constant) for i in sorted(sigma.colors()))
+
+    return task_from_function(inputs, outputs, rule, name=name or f"constant(n={n})")

@@ -1,0 +1,96 @@
+"""Synthetic tasks with controlled articulation structure.
+
+:func:`fan_task` builds a three-process task whose output complex is a
+"fan": a central color-0 vertex ``y`` surrounded by ``r`` disjoint strips of
+``m`` triangles each.  ``y``'s link inside ``Δ(σ)`` has exactly ``r``
+connected components, so ``y`` is a LAP with a *configurable* number of
+components and link length — the workload for the Figure 5 splitting
+benchmark (the paper's generic split of an ``r``-component LAP) and for
+scaling studies of the deformation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ...topology.carrier import CarrierMap
+from ...topology.chromatic import ChromaticComplex
+from ...topology.complexes import SimplicialComplex
+from ...topology.simplex import Simplex, Vertex
+from ..task import Task
+from .builders import single_facet_input
+
+
+def fan_task(
+    components: int = 2,
+    strip_length: int = 1,
+    twisted: bool = False,
+    name: str = None,
+) -> Task:
+    """A task whose output has one LAP with ``components`` link components.
+
+    Each component is a strip of ``strip_length`` triangles sharing the
+    central vertex ``y = (0, "hub")``; within a strip, consecutive
+    triangles share an edge at ``y``, so each strip contributes one
+    connected path to ``y``'s link.  Colors alternate 1, 2 along the strip.
+
+    With ``twisted=False`` the solo decisions of processes 1 and 2 both lie
+    on strip 0 and the task is (trivially) solvable; with ``twisted=True``
+    process 2's solo decision moves to strip 1, so after splitting the hub
+    the two mandatory solo outputs end up in different connected components
+    and the task is unsolvable by Corollary 5.5.
+    """
+    if components < 1 or strip_length < 1:
+        raise ValueError("need at least one component and one triangle per strip")
+    if twisted and components < 2:
+        raise ValueError("a twisted fan needs at least two components")
+    hub = Vertex(0, "hub")
+    triangles: List[Simplex] = []
+    strips: List[List[Vertex]] = []
+    for c in range(components):
+        rim: List[Vertex] = []
+        for j in range(strip_length + 1):
+            color = 1 if j % 2 == 0 else 2
+            rim.append(Vertex(color, f"rim{c}_{j}"))
+        strips.append(rim)
+        for j in range(strip_length):
+            triangles.append(Simplex([hub, rim[j], rim[j + 1]]))
+    outputs = ChromaticComplex(triangles, name="O_fan")
+    inputs = single_facet_input(3, values=("x0", "x1", "x2"), name="I_fan")
+
+    first_rim = strips[0]
+    images: Dict[Simplex, SimplicialComplex] = {}
+    for tau in inputs.simplices():
+        ids = tau.colors()
+        if ids == frozenset({0, 1, 2}):
+            images[tau] = SimplicialComplex(triangles)
+        elif ids == frozenset({1, 2}):
+            images[tau] = SimplicialComplex(
+                Simplex([a, b])
+                for rim in strips
+                for a, b in zip(rim, rim[1:])
+            )
+        elif ids == frozenset({0}):
+            images[tau] = SimplicialComplex([Simplex([hub])])
+        elif 0 in ids:
+            other = next(iter(ids - {0}))
+            images[tau] = SimplicialComplex(
+                Simplex([hub, v])
+                for rim in strips
+                for v in rim
+                if v.color == other
+            )
+        else:
+            (i,) = ids
+            rim = strips[1] if (twisted and i == 2) else first_rim
+            images[tau] = SimplicialComplex(
+                [Simplex([v]) for v in rim if v.color == i][:1]
+            )
+    delta = CarrierMap(inputs, outputs, images, check=False).monotonize()
+    label = "twisted-fan" if twisted else "fan"
+    return Task(
+        inputs,
+        outputs,
+        delta,
+        name=name or f"{label}(r={components}, m={strip_length})",
+    )

@@ -1,0 +1,71 @@
+"""Two-process tasks, for Proposition 5.4.
+
+For two processes a task is solvable iff there is a continuous map
+``|I| → |O|`` carried by Δ — no articulation-point machinery is needed
+(a disconnected link in dimension 1 means a disconnected complex).  These
+tasks exercise that baseline: the *path task* (an approximate-agreement
+style task, solvable) and two-process consensus (unsolvable).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ...topology.carrier import CarrierMap
+from ...topology.chromatic import ChromaticComplex
+from ...topology.complexes import SimplicialComplex
+from ...topology.simplex import Simplex, Vertex
+from ..task import Task
+from .builders import single_facet_input
+
+
+def path_task(length: int = 3, name: str = None) -> Task:
+    """Two processes must decide the two endpoints of one edge of a path.
+
+    The output complex is a path of ``length`` edges with alternating
+    colors, whose endpoints are the solo decisions.  Solvable for any
+    ``length`` (this is ε-agreement in disguise), and a minimal example of
+    a task that needs more than zero communication rounds.
+    """
+    if length < 1 or length % 2 == 0:
+        raise ValueError("length must be odd and positive so endpoints alternate")
+    inputs = single_facet_input(2, values=("u", "v"), name="I_path")
+    verts = [Vertex(k % 2, k) for k in range(length + 1)]
+    edges = [Simplex([a, b]) for a, b in zip(verts, verts[1:])]
+    outputs = ChromaticComplex(edges, name="O_path")
+
+    x0 = Simplex([Vertex(0, "u")])
+    x1 = Simplex([Vertex(1, "v")])
+    facet = Simplex([Vertex(0, "u"), Vertex(1, "v")])
+    images: Dict[Simplex, SimplicialComplex] = {
+        x0: SimplicialComplex([Simplex([verts[0]])]),
+        x1: SimplicialComplex([Simplex([verts[-1]])]),
+        facet: SimplicialComplex(edges),
+    }
+    delta = CarrierMap(inputs, outputs, images, check=False)
+    return Task(inputs, outputs, delta, name=name or f"path(length={length})")
+
+
+def two_process_fork_task(name: str = "fork") -> Task:
+    """A two-process task whose output complex is disconnected per edge image.
+
+    Process solo decisions sit in different components of ``Δ(edge)``; the
+    task is unsolvable by Proposition 5.4 (no continuous map can connect
+    the components).  This is two-process consensus with the values renamed
+    to make the structure explicit.
+    """
+    inputs = single_facet_input(2, values=("u", "v"), name="I_fork")
+    left = Simplex([Vertex(0, "L"), Vertex(1, "L")])
+    right = Simplex([Vertex(0, "R"), Vertex(1, "R")])
+    outputs = ChromaticComplex([left, right], name="O_fork")
+
+    x0 = Simplex([Vertex(0, "u")])
+    x1 = Simplex([Vertex(1, "v")])
+    facet = Simplex([Vertex(0, "u"), Vertex(1, "v")])
+    images: Dict[Simplex, SimplicialComplex] = {
+        x0: SimplicialComplex([Simplex([Vertex(0, "L")])]),
+        x1: SimplicialComplex([Simplex([Vertex(1, "R")])]),
+        facet: SimplicialComplex([left, right]),
+    }
+    delta = CarrierMap(inputs, outputs, images, check=False)
+    return Task(inputs, outputs, delta, name=name)

@@ -1,0 +1,244 @@
+"""Finite abstract simplicial complexes.
+
+A :class:`SimplicialComplex` is stored as the downward closure of a set of
+simplices.  Construction computes the closure and the facets (maximal
+simplices); after that the complex is immutable.  All iteration orders are
+deterministic (see :func:`repro.topology.simplex.vertex_sort_key`).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+import networkx as nx
+
+from .simplex import Simplex, color_of, vertex_sort_key
+
+
+class SimplicialComplex:
+    """A finite abstract simplicial complex.
+
+    Parameters
+    ----------
+    simplices:
+        Any iterable of :class:`Simplex` (or iterables of vertices, which are
+        converted).  The complex is the downward closure of these simplices.
+    name:
+        Optional human-readable name, used in ``repr`` only.
+    """
+
+    __slots__ = ("_simplices", "_facets", "_vertices", "_dim", "name", "_hash")
+
+    def __init__(self, simplices: Iterable, name: Optional[str] = None):
+        converted: List[Simplex] = []
+        for s in simplices:
+            converted.append(s if isinstance(s, Simplex) else Simplex(s))
+        closure = set()
+        for s in converted:
+            if s not in closure:
+                closure.update(s.faces())
+        self._simplices: FrozenSet[Simplex] = frozenset(closure)
+        self._facets: Tuple[Simplex, ...] = tuple(
+            sorted(self._compute_facets(closure), key=Simplex.sort_key)
+        )
+        self._vertices: Tuple[Hashable, ...] = tuple(
+            sorted(
+                {v for s in self._facets for v in s.vertices},
+                key=vertex_sort_key,
+            )
+        )
+        self._dim: int = max((s.dim for s in self._facets), default=-1)
+        self.name = name
+        self._hash: Optional[int] = None
+
+    @staticmethod
+    def _compute_facets(closure: set) -> List[Simplex]:
+        # A simplex fails to be maximal iff it is a codimension-1 face of
+        # some simplex in the (downward-closed) collection, so one pass over
+        # all boundaries identifies every non-facet.
+        non_facets = set()
+        for s in closure:
+            if s.dim > 0:
+                non_facets.update(s.boundary())
+        return [s for s in closure if s not in non_facets]
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def empty(cls, name: Optional[str] = None) -> "SimplicialComplex":
+        """The empty complex (no simplices)."""
+        return cls((), name=name)
+
+    @classmethod
+    def from_facets(cls, facets: Iterable, name: Optional[str] = None) -> "SimplicialComplex":
+        """Alias of the constructor, for readability at call sites."""
+        return cls(facets, name=name)
+
+    # -- basic protocol ------------------------------------------------------
+
+    def __contains__(self, s) -> bool:
+        if not isinstance(s, Simplex):
+            s = Simplex(s)
+        return s in self._simplices
+
+    def __iter__(self) -> Iterator[Simplex]:
+        return iter(self.simplices())
+
+    def __len__(self) -> int:
+        return len(self._simplices)
+
+    def __bool__(self) -> bool:
+        return bool(self._simplices)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SimplicialComplex):
+            return NotImplemented
+        return self._simplices == other._simplices
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._simplices)
+        return self._hash
+
+    def __repr__(self) -> str:
+        label = self.name or type(self).__name__
+        return f"{label}(dim={self.dim}, facets={len(self._facets)}, simplices={len(self)})"
+
+    # -- structure ------------------------------------------------------------
+
+    @property
+    def facets(self) -> Tuple[Simplex, ...]:
+        """The maximal simplices, in canonical order."""
+        return self._facets
+
+    @property
+    def dim(self) -> int:
+        """Maximal facet dimension; ``-1`` for the empty complex."""
+        return self._dim
+
+    @property
+    def vertices(self) -> Tuple[Hashable, ...]:
+        """All vertices, in canonical order."""
+        return self._vertices
+
+    def simplices(self, dim: Optional[int] = None) -> Tuple[Simplex, ...]:
+        """All simplices, optionally restricted to a single dimension."""
+        pool = self._simplices if dim is None else (s for s in self._simplices if s.dim == dim)
+        return tuple(sorted(pool, key=Simplex.sort_key))
+
+    def f_vector(self) -> Tuple[int, ...]:
+        """``f_vector()[k]`` is the number of ``k``-dimensional simplices."""
+        counts = [0] * (self.dim + 1)
+        for s in self._simplices:
+            counts[s.dim] += 1
+        return tuple(counts)
+
+    def euler_characteristic(self) -> int:
+        """The Euler characteristic ``sum_k (-1)^k f_k``."""
+        return sum((-1) ** k * f for k, f in enumerate(self.f_vector()))
+
+    def is_pure(self) -> bool:
+        """True iff all facets share the top dimension."""
+        return all(f.dim == self.dim for f in self._facets)
+
+    def is_chromatic(self) -> bool:
+        """True iff every simplex has colored vertices with distinct colors."""
+        return all(f.is_chromatic() for f in self._facets)
+
+    def colors(self) -> FrozenSet[int]:
+        """All colors appearing in the complex (colorless vertices ignored)."""
+        cols = set()
+        for v in self._vertices:
+            c = color_of(v)
+            if c is not None:
+                cols.add(c)
+        return frozenset(cols)
+
+    # -- subcomplexes -----------------------------------------------------------
+
+    def skeleton(self, k: int) -> "SimplicialComplex":
+        """The ``k``-skeleton: all simplices of dimension at most ``k``."""
+        return SimplicialComplex(
+            (s for s in self._simplices if s.dim <= k),
+            name=f"Skel^{k}({self.name})" if self.name else None,
+        )
+
+    def star(self, v: Hashable) -> "SimplicialComplex":
+        """The closed star of ``v``: all simplices containing ``v``, closed down."""
+        return SimplicialComplex(s for s in self._simplices if v in s)
+
+    def link(self, v: Hashable) -> "SimplicialComplex":
+        """The link of ``v``: ``{ s : v not in s and s + v in K }``."""
+        out = []
+        for s in self._simplices:
+            if v in s:
+                rest = s.without(v)
+                if rest is not None:
+                    out.append(rest)
+        return SimplicialComplex(out)
+
+    def induced(self, vertices: Iterable[Hashable]) -> "SimplicialComplex":
+        """The subcomplex induced by a vertex subset."""
+        vs = set(vertices)
+        return SimplicialComplex(s for s in self._simplices if s.vertices <= vs)
+
+    def subcomplex(self, simplices: Iterable) -> "SimplicialComplex":
+        """The downward closure of the given simplices, checked to lie in ``self``."""
+        chosen = [s if isinstance(s, Simplex) else Simplex(s) for s in simplices]
+        for s in chosen:
+            if s not in self._simplices:
+                raise ValueError(f"{s!r} is not a simplex of {self!r}")
+        return SimplicialComplex(chosen)
+
+    def union(self, other: "SimplicialComplex") -> "SimplicialComplex":
+        """The union complex."""
+        return SimplicialComplex(self._facets + other._facets)
+
+    def intersection(self, other: "SimplicialComplex") -> "SimplicialComplex":
+        """The intersection complex."""
+        return SimplicialComplex(self._simplices & other._simplices)
+
+    def is_subcomplex_of(self, other: "SimplicialComplex") -> bool:
+        """True iff every simplex of ``self`` lies in ``other``."""
+        return self._simplices <= other._simplices
+
+    # -- connectivity -------------------------------------------------------------
+
+    def graph(self) -> "nx.Graph":
+        """The 1-skeleton as a :mod:`networkx` graph (isolated vertices included)."""
+        g = nx.Graph()
+        g.add_nodes_from(self._vertices)
+        for e in self.simplices(dim=1):
+            a, b = e.sorted_vertices()
+            g.add_edge(a, b)
+        return g
+
+    def is_connected(self) -> bool:
+        """Graph connectivity of the 1-skeleton (empty complex counts as connected)."""
+        if not self._vertices:
+            return True
+        return nx.is_connected(self.graph())
+
+    def connected_components(self) -> Tuple[FrozenSet[Hashable], ...]:
+        """Vertex sets of the connected components, in deterministic order."""
+        comps = [frozenset(c) for c in nx.connected_components(self.graph())]
+        comps.sort(key=lambda c: min(vertex_sort_key(v) for v in c))
+        return tuple(comps)
+
+    def component_of(self, v: Hashable) -> FrozenSet[Hashable]:
+        """The vertex set of the component containing ``v``."""
+        for comp in self.connected_components():
+            if v in comp:
+                return comp
+        raise KeyError(f"{v!r} is not a vertex of {self!r}")
+
+    def is_link_connected(self) -> bool:
+        """True iff the link of every vertex is a connected complex.
+
+        This is the property the splitting pipeline of Section 4 establishes.
+        """
+        return all(self.link(v).is_connected() for v in self._vertices)
+
+    def link_components(self, v: Hashable) -> Tuple[FrozenSet[Hashable], ...]:
+        """Connected components (vertex sets) of ``link(v)``."""
+        return self.link(v).connected_components()

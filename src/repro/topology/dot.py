@@ -1,0 +1,66 @@
+"""Graphviz DOT export for complexes and tasks.
+
+The paper's figures are drawings of 2-dimensional chromatic complexes.
+This module renders a complex's 1-skeleton (with triangles indicated by
+shaded cliques) to DOT text, so the reproduced figures can be inspected
+with any Graphviz viewer.  Process ids (colors) map to gray levels, echoing
+the paper's convention ("gray levels represent process ids").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from .complexes import SimplicialComplex
+from .simplex import Vertex, color_of
+
+_GRAYS = ["#222222", "#f5f5f5", "#9e9e9e", "#5e5e5e", "#cfcfcf"]
+
+
+def _vertex_id(v: Hashable, index: Dict[Hashable, str]) -> str:
+    if v not in index:
+        index[v] = f"v{len(index)}"
+    return index[v]
+
+
+def _vertex_label(v: Hashable) -> str:
+    if isinstance(v, Vertex):
+        return f"{v.color}:{v.value!r}"
+    return repr(v)
+
+
+def complex_to_dot(k: SimplicialComplex, name: Optional[str] = None) -> str:
+    """Render a complex's 1-skeleton as a DOT graph.
+
+    Vertices are filled by color (process id); edges belonging to some
+    2-simplex are drawn solid, bare edges dashed — enough to read off the
+    triangle structure of the paper's figures.
+    """
+    index: Dict[Hashable, str] = {}
+    lines = [f'graph "{name or k.name or "complex"}" {{']
+    lines.append("  node [style=filled, fontsize=10];")
+    for v in k.vertices:
+        c = color_of(v)
+        fill = _GRAYS[c % len(_GRAYS)] if c is not None else "#ffffff"
+        fontcolor = "#ffffff" if c is not None and c % len(_GRAYS) in (0, 3) else "#000000"
+        lines.append(
+            f'  {_vertex_id(v, index)} [label="{_vertex_label(v)}", '
+            f'fillcolor="{fill}", fontcolor="{fontcolor}"];'
+        )
+    in_triangle = set()
+    for t in k.simplices(dim=2):
+        for e in t.faces(dim=1):
+            in_triangle.add(e)
+    for e in k.simplices(dim=1):
+        a, b = e.sorted_vertices()
+        style = "solid" if e in in_triangle else "dashed"
+        lines.append(f"  {_vertex_id(a, index)} -- {_vertex_id(b, index)} [style={style}];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_dot(k: SimplicialComplex, path: str, name: Optional[str] = None) -> None:
+    """Write :func:`complex_to_dot` output to a file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(complex_to_dot(k, name=name))
+        fh.write("\n")

@@ -1,0 +1,61 @@
+"""Links and link-connectivity helpers.
+
+The *link* of a vertex ``v`` in a complex ``K`` is
+``lk_K(v) = { σ : v ∉ σ and σ ∪ {v} ∈ K }``.  For the 2-dimensional
+complexes of three-process tasks, links are graphs, and the paper's central
+combinatorial notion — the *local articulation point* — is a vertex whose
+link inside ``Δ(σ)`` is a disconnected graph (Section 4).
+
+This module exposes free-function forms of the link machinery (the methods
+also exist on :class:`SimplicialComplex`) plus the *global* articulation
+scan used by tests and reporting; the per-input-facet (local) scan lives in
+:mod:`repro.splitting.lap`.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Tuple
+
+from .complexes import SimplicialComplex
+
+
+def link(k: SimplicialComplex, v: Hashable) -> SimplicialComplex:
+    """``lk_K(v)``."""
+    return k.link(v)
+
+
+def link_components(k: SimplicialComplex, v: Hashable) -> Tuple[FrozenSet[Hashable], ...]:
+    """Connected components (vertex sets) of ``lk_K(v)``."""
+    return k.link_components(v)
+
+
+def is_link_connected(k: SimplicialComplex) -> bool:
+    """Whether every vertex of ``k`` has a connected link."""
+    return k.is_link_connected()
+
+
+def articulation_vertices(k: SimplicialComplex) -> Tuple[Hashable, ...]:
+    """Vertices of ``k`` whose link has two or more connected components.
+
+    This is the *global* notion (link within all of ``k``).  The paper's
+    LAPs are relative to ``Δ(σ)`` for an input facet ``σ``; see
+    :func:`repro.splitting.lap.local_articulation_points`.
+    """
+    out = []
+    for v in k.vertices:
+        if len(k.link_components(v)) >= 2:
+            out.append(v)
+    return tuple(out)
+
+
+def longest_link_size(k: SimplicialComplex) -> int:
+    """The maximum number of vertices over all links in ``k``.
+
+    The paper bounds the running time of the Figure 7 algorithm by the
+    length of the longest link in the output complex; benchmarks use this
+    quantity as the predictor.
+    """
+    best = 0
+    for v in k.vertices:
+        best = max(best, len(k.link(v).vertices))
+    return best

@@ -1,0 +1,203 @@
+"""Simplicial maps and the "carried by Δ" relation.
+
+A *simplicial map* is a vertex map that sends simplices to simplices.  A
+*chromatic* simplicial map additionally preserves colors.  A map
+``f : P → O`` defined on a complex ``P`` that subdivides (or more generally
+is carried over) an input complex ``I`` is *carried by* a carrier map
+``Δ : I → 2^O`` when ``f(P(σ)) ⊆ Δ(σ)`` for every ``σ ∈ I`` — this is the
+algebraic form of "the protocol's decisions respect the task
+specification" (Section 2.4 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Optional, Tuple
+
+from .carrier import CarrierMap
+from .complexes import SimplicialComplex
+from .simplex import Simplex, Vertex, color_of
+
+
+class NotSimplicialError(ValueError):
+    """Raised when a vertex map fails to send some simplex to a simplex."""
+
+
+class SimplicialMap:
+    """A simplicial map between two finite complexes.
+
+    Parameters
+    ----------
+    domain, codomain:
+        Source and target complexes.
+    vertex_map:
+        Image of every vertex of ``domain``.
+    check:
+        When true (default), verify totality and simpliciality.
+    """
+
+    __slots__ = ("domain", "codomain", "_vmap")
+
+    def __init__(
+        self,
+        domain: SimplicialComplex,
+        codomain: SimplicialComplex,
+        vertex_map: Mapping[Hashable, Hashable],
+        check: bool = True,
+    ):
+        self.domain = domain
+        self.codomain = codomain
+        self._vmap: Dict[Hashable, Hashable] = dict(vertex_map)
+        if check:
+            self.validate()
+
+    def validate(self) -> None:
+        """Check totality, codomain membership and simpliciality."""
+        for v in self.domain.vertices:
+            if v not in self._vmap:
+                raise NotSimplicialError(f"vertex {v!r} has no image")
+            w = self._vmap[v]
+            if Simplex([w]) not in self.codomain:
+                raise NotSimplicialError(f"image {w!r} of {v!r} is not in the codomain")
+        for f in self.domain.facets:
+            img = self.apply(f)
+            if img not in self.codomain:
+                raise NotSimplicialError(
+                    f"facet {f!r} maps to {img!r}, which is not a simplex of the codomain"
+                )
+
+    # -- evaluation ----------------------------------------------------------
+
+    def __call__(self, arg):
+        if isinstance(arg, Simplex):
+            return self.apply(arg)
+        return self._vmap[arg]
+
+    def apply(self, s: Simplex) -> Simplex:
+        """The image simplex ``{f(v) : v in s}`` (duplicates collapse)."""
+        return Simplex(self._vmap[v] for v in s.vertices)
+
+    def vertex_image(self, v: Hashable) -> Hashable:
+        """Image of a single vertex."""
+        return self._vmap[v]
+
+    def image_complex(self) -> SimplicialComplex:
+        """The subcomplex of the codomain spanned by image simplices."""
+        return SimplicialComplex(self.apply(f) for f in self.domain.facets)
+
+    def as_dict(self) -> Dict[Hashable, Hashable]:
+        """A copy of the underlying vertex map."""
+        return dict(self._vmap)
+
+    # -- predicates ------------------------------------------------------------
+
+    def is_chromatic(self) -> bool:
+        """True iff colors are preserved (``f(i, x) = (i, y)``)."""
+        for v, w in self._vmap.items():
+            cv, cw = color_of(v), color_of(w)
+            if cv is None or cv != cw:
+                return False
+        return True
+
+    def is_carried_by(
+        self,
+        delta: CarrierMap,
+        via: Optional[CarrierMap] = None,
+    ) -> bool:
+        """Whether this map is carried by ``delta``.
+
+        ``delta`` is a carrier map from some base complex ``I`` to the
+        codomain.  ``via`` is the carrier map ``I → domain`` identifying, for
+        each ``σ ∈ I``, the subcomplex ``via(σ)`` of the domain lying over
+        ``σ``; when ``domain`` *is* ``I`` itself, ``via`` may be omitted and
+        the identity carrier is used.
+        """
+        base = delta.domain
+        for s in base.simplices():
+            over = via(s) if via is not None else SimplicialComplex([s])
+            allowed = delta(s)
+            for f in over.facets:
+                if self.apply(f) not in allowed:
+                    return False
+        return True
+
+    def carried_by_violation(
+        self,
+        delta: CarrierMap,
+        via: Optional[CarrierMap] = None,
+    ) -> Optional[Tuple[Simplex, Simplex]]:
+        """First ``(base simplex, offending domain simplex)`` pair, if any."""
+        for s in delta.domain.simplices():
+            over = via(s) if via is not None else SimplicialComplex([s])
+            allowed = delta(s)
+            for f in over.facets:
+                if self.apply(f) not in allowed:
+                    return (s, f)
+        return None
+
+    # -- algebra ------------------------------------------------------------------
+
+    def compose(self, other: "SimplicialMap") -> "SimplicialMap":
+        """The composition ``other ∘ self`` (apply ``self`` first)."""
+        return SimplicialMap(
+            self.domain,
+            other.codomain,
+            {v: other.vertex_image(self._vmap[v]) for v in self.domain.vertices},
+            check=False,
+        )
+
+    def restricted_to(self, sub: SimplicialComplex) -> "SimplicialMap":
+        """Restrict the domain to a subcomplex."""
+        if not sub.is_subcomplex_of(self.domain):
+            raise ValueError("restriction target is not a subcomplex of the domain")
+        return SimplicialMap(
+            sub,
+            self.codomain,
+            {v: self._vmap[v] for v in sub.vertices},
+            check=False,
+        )
+
+    # -- protocol ------------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SimplicialMap):
+            return NotImplemented
+        return (
+            self.domain == other.domain
+            and self.codomain == other.codomain
+            and all(self._vmap[v] == other._vmap[v] for v in self.domain.vertices)
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self.domain,
+                self.codomain,
+                tuple(self._vmap[v] for v in self.domain.vertices),
+            )
+        )
+
+    def __repr__(self) -> str:
+        return f"SimplicialMap({self.domain!r} -> {self.codomain!r})"
+
+
+def identity_map(k: SimplicialComplex) -> SimplicialMap:
+    """The identity simplicial map on ``k``."""
+    return SimplicialMap(k, k, {v: v for v in k.vertices}, check=False)
+
+
+def chromatic_projection(
+    domain: SimplicialComplex,
+    codomain: SimplicialComplex,
+    value_fn,
+) -> SimplicialMap:
+    """Build a chromatic map by transforming vertex values.
+
+    ``value_fn(vertex) -> value``; each vertex ``(i, x)`` maps to
+    ``(i, value_fn(vertex))``.
+    """
+    vmap = {}
+    for v in domain.vertices:
+        if not isinstance(v, Vertex):
+            raise NotSimplicialError(f"{v!r} is not a chromatic vertex")
+        vmap[v] = Vertex(v.color, value_fn(v))
+    return SimplicialMap(domain, codomain, vmap)

@@ -1,0 +1,87 @@
+"""Pseudomanifold diagnostics for 2-complexes.
+
+The splitting deformation is a cousin of the non-manifold decomposition
+used in geometric modeling (the paper's Section 1.3 cites De Floriani et
+al.): a local articulation point is precisely a vertex where the complex
+fails to be locally a disk.  This module provides the corresponding
+diagnostics for 2-dimensional complexes:
+
+* every edge of a *pseudomanifold* lies in at most two triangles;
+* the *boundary* consists of the edges lying in exactly one triangle;
+* a vertex is a *manifold vertex* when its link is a path or a cycle —
+  equivalently connected with maximal degree 2;
+* :func:`non_manifold_vertices` are exactly the global articulation
+  vertices plus the "fans" where more than two triangles share an edge.
+
+Applied to the zoo: the hourglass output complex is a pseudomanifold with
+one non-manifold vertex (the waist); splitting it is the paper's move, and
+after splitting the complex becomes two disks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+from .complexes import SimplicialComplex
+from .simplex import Simplex
+
+
+def edge_triangle_degrees(k: SimplicialComplex) -> Dict[Simplex, int]:
+    """How many triangles contain each edge."""
+    degrees: Dict[Simplex, int] = {e: 0 for e in k.simplices(dim=1)}
+    for t in k.simplices(dim=2):
+        for e in t.faces(dim=1):
+            degrees[e] += 1
+    return degrees
+
+
+def is_pseudomanifold(k: SimplicialComplex) -> bool:
+    """Pure 2-dimensional with every edge in at most two triangles."""
+    if k.dim != 2 or not k.is_pure():
+        return False
+    return all(d <= 2 for d in edge_triangle_degrees(k).values())
+
+
+def boundary_complex(k: SimplicialComplex) -> SimplicialComplex:
+    """The subcomplex of edges lying in exactly one triangle."""
+    edges = [e for e, d in edge_triangle_degrees(k).items() if d == 1]
+    if not edges:
+        return SimplicialComplex.empty()
+    return SimplicialComplex(edges)
+
+
+def is_closed_pseudomanifold(k: SimplicialComplex) -> bool:
+    """A pseudomanifold with empty boundary (every edge in two triangles)."""
+    return is_pseudomanifold(k) and not boundary_complex(k)
+
+
+def is_manifold_vertex(k: SimplicialComplex, v: Hashable) -> bool:
+    """Whether the link of ``v`` is a single path or cycle.
+
+    That is the local condition for ``|K|`` to be a surface (possibly with
+    boundary) around ``v``.
+    """
+    link = k.link(v)
+    if not link.is_connected() or not link.vertices:
+        return False
+    degrees = [len(link.link(w).vertices) for w in link.vertices]
+    return all(d <= 2 for d in degrees)
+
+
+def non_manifold_vertices(k: SimplicialComplex) -> Tuple[Hashable, ...]:
+    """Vertices around which ``|K|`` is not locally a surface."""
+    return tuple(v for v in k.vertices if not is_manifold_vertex(k, v))
+
+
+def decomposition_summary(k: SimplicialComplex) -> Dict[str, object]:
+    """A one-look report: manifoldness, boundary size, defect locations."""
+    degrees = edge_triangle_degrees(k)
+    return {
+        "pure_2d": k.dim == 2 and k.is_pure(),
+        "pseudomanifold": is_pseudomanifold(k),
+        "closed": is_closed_pseudomanifold(k),
+        "boundary_edges": sum(1 for d in degrees.values() if d == 1),
+        "overloaded_edges": sum(1 for d in degrees.values() if d > 2),
+        "non_manifold_vertices": non_manifold_vertices(k),
+        "components": len(k.connected_components()),
+    }

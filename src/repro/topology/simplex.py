@@ -1,0 +1,232 @@
+"""Simplices and chromatic vertices.
+
+This module provides the two most basic objects of the combinatorial-topology
+substrate used throughout the library:
+
+* :class:`Vertex` — a chromatic vertex ``(color, value)``, where the color is
+  a process id and the value is an arbitrary hashable payload (an input
+  value, an output value, or a view acquired during computation).
+* :class:`Simplex` — an immutable finite set of vertices.
+
+Both are hashable and totally ordered (by a deterministic sort key), which
+lets complexes, carrier maps and search procedures iterate deterministically
+regardless of hash randomization.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Hashable, Iterable, Iterator, Optional, Tuple
+
+
+def vertex_sort_key(v: Hashable) -> Tuple:
+    """A deterministic sort key usable for arbitrary hashable vertices.
+
+    Chromatic :class:`Vertex` objects sort by ``(color, repr(value))`` so
+    that simplices print with process ids in increasing order; any other
+    vertex sorts by its type name and ``repr``.
+    """
+    if isinstance(v, Vertex):
+        return (0, v.color, repr(v.value))
+    return (1, type(v).__name__, repr(v))
+
+
+@dataclass(frozen=True, order=False)
+class Vertex:
+    """A chromatic vertex ``(color, value)``.
+
+    ``color`` is the process id (an integer in ``range(n)`` for an
+    ``n``-process system) and ``value`` is any hashable payload.
+    """
+
+    color: int
+    value: Hashable
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.color, int):
+            raise TypeError(f"vertex color must be an int, got {self.color!r}")
+        try:
+            hash(self.value)
+        except TypeError as exc:  # pragma: no cover - defensive
+            raise TypeError(f"vertex value must be hashable, got {self.value!r}") from exc
+
+    def with_value(self, value: Hashable) -> "Vertex":
+        """Return a vertex with the same color and a new value."""
+        return Vertex(self.color, value)
+
+    def __repr__(self) -> str:
+        return f"({self.color}:{self.value!r})"
+
+    def __lt__(self, other: "Vertex") -> bool:
+        if not isinstance(other, Vertex):
+            return NotImplemented
+        return vertex_sort_key(self) < vertex_sort_key(other)
+
+
+def color_of(v: Hashable) -> Optional[int]:
+    """Return the color of a vertex, or ``None`` for colorless vertices."""
+    if isinstance(v, Vertex):
+        return v.color
+    return None
+
+
+@dataclass(frozen=True, init=False)
+class Simplex:
+    """An immutable, non-empty finite set of vertices.
+
+    The *dimension* of a simplex is ``len(simplex) - 1``; a single vertex is
+    a 0-dimensional simplex.  Simplices compare equal iff they contain the
+    same vertex set, and are ordered first by dimension and then
+    lexicographically by sorted vertex keys, so all iteration in the library
+    is deterministic.
+    """
+
+    vertices: FrozenSet[Hashable] = field()
+
+    def __init__(self, vertices: Iterable[Hashable]):
+        vs = frozenset(vertices)
+        if not vs:
+            raise ValueError("a simplex must contain at least one vertex")
+        object.__setattr__(self, "vertices", vs)
+
+    # -- basic protocol ---------------------------------------------------
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self.sorted_vertices())
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def __contains__(self, v: Hashable) -> bool:
+        return v in self.vertices
+
+    def __le__(self, other: "Simplex") -> bool:
+        """Face relation: ``self <= other`` iff ``self`` is a face of ``other``."""
+        return self.vertices <= other.vertices
+
+    def __lt__(self, other: "Simplex") -> bool:
+        return self.vertices < other.vertices
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(v) for v in self.sorted_vertices())
+        return f"<{inner}>"
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        """Dimension: number of vertices minus one."""
+        return len(self.vertices) - 1
+
+    def sorted_vertices(self) -> Tuple[Hashable, ...]:
+        """Vertices in the library's canonical deterministic order."""
+        return tuple(sorted(self.vertices, key=vertex_sort_key))
+
+    def sort_key(self) -> Tuple:
+        """Deterministic total-order key (dimension first, then lexicographic)."""
+        return (self.dim, tuple(vertex_sort_key(v) for v in self.sorted_vertices()))
+
+    def colors(self) -> FrozenSet[int]:
+        """The set of colors (process ids) appearing in this simplex.
+
+        Raises :class:`ValueError` if any vertex is colorless.
+        """
+        cols = []
+        for v in self.vertices:
+            c = color_of(v)
+            if c is None:
+                raise ValueError(f"simplex {self!r} contains a colorless vertex {v!r}")
+            cols.append(c)
+        return frozenset(cols)
+
+    def is_chromatic(self) -> bool:
+        """True iff every vertex is colored and no color repeats."""
+        cols = []
+        for v in self.vertices:
+            c = color_of(v)
+            if c is None:
+                return False
+            cols.append(c)
+        return len(cols) == len(set(cols))
+
+    def vertex_of_color(self, color: int) -> Hashable:
+        """Return the unique vertex of the given color.
+
+        Raises :class:`KeyError` if the color does not appear, and
+        :class:`ValueError` if it appears more than once.
+        """
+        found = [v for v in self.vertices if color_of(v) == color]
+        if not found:
+            raise KeyError(f"no vertex of color {color} in {self!r}")
+        if len(found) > 1:
+            raise ValueError(f"color {color} appears more than once in {self!r}")
+        return found[0]
+
+    # -- faces ---------------------------------------------------------------
+
+    def faces(self, dim: Optional[int] = None) -> Tuple["Simplex", ...]:
+        """All non-empty faces (including ``self``), optionally of one dimension.
+
+        Faces are returned in canonical order.
+        """
+        if dim is not None:
+            if dim < 0 or dim > self.dim:
+                return ()
+            combos = itertools.combinations(self.sorted_vertices(), dim + 1)
+            return tuple(sorted((Simplex(c) for c in combos), key=Simplex.sort_key))
+        out = []
+        for k in range(1, len(self.vertices) + 1):
+            out.extend(Simplex(c) for c in itertools.combinations(self.sorted_vertices(), k))
+        return tuple(sorted(out, key=Simplex.sort_key))
+
+    def proper_faces(self) -> Tuple["Simplex", ...]:
+        """All faces except ``self``."""
+        return tuple(f for f in self.faces() if f != self)
+
+    def boundary(self) -> Tuple["Simplex", ...]:
+        """The codimension-1 faces, in canonical order."""
+        return self.faces(dim=self.dim - 1)
+
+    # -- set algebra -----------------------------------------------------------
+
+    def union(self, other: "Simplex") -> "Simplex":
+        """Vertex-set union (the join's vertex set)."""
+        return Simplex(self.vertices | other.vertices)
+
+    def intersection(self, other: "Simplex") -> Optional["Simplex"]:
+        """Vertex-set intersection, or ``None`` when disjoint."""
+        common = self.vertices & other.vertices
+        return Simplex(common) if common else None
+
+    def without(self, v: Hashable) -> Optional["Simplex"]:
+        """The face obtained by dropping vertex ``v`` (``None`` if empty)."""
+        rest = self.vertices - {v}
+        return Simplex(rest) if rest else None
+
+    def with_vertex(self, v: Hashable) -> "Simplex":
+        """The simplex obtained by adding vertex ``v``."""
+        return Simplex(self.vertices | {v})
+
+    def replace_vertex(self, old: Hashable, new: Hashable) -> "Simplex":
+        """The simplex with ``old`` substituted by ``new``.
+
+        Raises :class:`KeyError` if ``old`` is absent.
+        """
+        if old not in self.vertices:
+            raise KeyError(f"{old!r} is not a vertex of {self!r}")
+        return Simplex((self.vertices - {old}) | {new})
+
+
+def simplex(*vertices: Hashable) -> Simplex:
+    """Convenience constructor: ``simplex(a, b, c) == Simplex([a, b, c])``."""
+    return Simplex(vertices)
+
+
+def chrom(*pairs: Tuple[int, Any]) -> Simplex:
+    """Build a chromatic simplex from ``(color, value)`` pairs.
+
+    >>> chrom((0, 'a'), (1, 'b'))
+    <(0:'a'), (1:'b')>
+    """
+    return Simplex(Vertex(c, x) for c, x in pairs)

@@ -1,0 +1,86 @@
+"""Unit tests: the FI protocol's views realize the chromatic subdivision."""
+
+import itertools
+
+from repro.runtime.full_information import make_full_information_factories
+from repro.runtime.scheduler import explore_schedules, run_random, run_solo_blocks
+from repro.topology.chromatic import ChromaticComplex
+from repro.topology.simplex import Simplex, chrom
+from repro.topology.subdivision import iterated_chromatic_subdivision
+
+
+INPUT = chrom((0, "x"), (1, "y"), (2, "z"))
+
+
+def _complex_of(simplex):
+    return ChromaticComplex([simplex])
+
+
+class TestViewsAreSubdivisionVertices:
+    def test_one_round_views_in_ch1(self):
+        sub = iterated_chromatic_subdivision(_complex_of(INPUT), 1)
+        vertices = set(sub.complex.vertices)
+        factories, n = make_full_information_factories(INPUT, rounds=1)
+        for seed in range(100):
+            trace = run_random(n, factories, seed=seed)
+            for v in trace.decisions.values():
+                assert v in vertices
+            assert Simplex(trace.decisions.values()) in sub.complex
+
+    def test_two_round_views_in_ch2(self):
+        sub = iterated_chromatic_subdivision(_complex_of(INPUT), 2)
+        vertices = set(sub.complex.vertices)
+        factories, n = make_full_information_factories(INPUT, rounds=2)
+        for seed in range(50):
+            trace = run_random(n, factories, seed=seed)
+            assert set(trace.decisions.values()) <= vertices
+            assert Simplex(trace.decisions.values()) in sub.complex
+
+    def test_zero_rounds_identity(self):
+        factories, n = make_full_information_factories(INPUT, rounds=0)
+        trace = run_random(n, factories, seed=0)
+        assert set(trace.decisions.values()) == set(INPUT.vertices)
+
+
+class TestProtocolComplexCoverage:
+    def test_two_process_one_round_exactly_ch1(self):
+        """Exhaustive: 2-process FI reaches exactly the Ch¹ facets."""
+        edge = chrom((0, "x"), (1, "y"))
+        sub = iterated_chromatic_subdivision(_complex_of(edge), 1)
+        expected = set(sub.complex.facets)
+        factories, n = make_full_information_factories(edge, rounds=1)
+        reached = set()
+        for trace in explore_schedules(n, factories):
+            reached.add(Simplex(trace.decisions.values()))
+        assert reached == expected
+
+    def test_three_process_sequential_reaches_corner_facets(self):
+        sub = iterated_chromatic_subdivision(_complex_of(INPUT), 1)
+        factories, n = make_full_information_factories(INPUT, rounds=1)
+        reached = set()
+        for order in itertools.permutations(range(3)):
+            trace = run_solo_blocks(n, factories, order)
+            reached.add(Simplex(trace.decisions.values()))
+        assert len(reached) == 6  # the six fully-ordered IS executions
+        assert reached <= set(sub.complex.facets)
+
+    def test_three_process_random_coverage(self):
+        sub = iterated_chromatic_subdivision(_complex_of(INPUT), 1)
+        factories, n = make_full_information_factories(INPUT, rounds=1)
+        reached = set()
+        for seed in range(500):
+            trace = run_random(n, factories, seed=seed)
+            facet = Simplex(trace.decisions.values())
+            assert facet in sub.complex
+            reached.add(facet)
+        assert len(reached) >= 7  # of the 13
+
+    def test_partial_participation_lands_in_face_subdivision(self):
+        edge = Simplex([v for v in INPUT.vertices if v.color != 2])
+        sub = iterated_chromatic_subdivision(_complex_of(INPUT), 1)
+        factories, n = make_full_information_factories(INPUT, rounds=1)
+        del factories[2]
+        for seed in range(50):
+            trace = run_random(n, factories, seed=seed)
+            facet = Simplex(trace.decisions.values())
+            assert facet in sub.carrier(edge)

@@ -1,0 +1,74 @@
+"""Unit tests for shared-memory objects."""
+
+import pytest
+
+from repro.runtime.memory import (
+    MemoryError_,
+    RegisterArray,
+    SharedMemory,
+    SnapshotObject,
+)
+
+
+class TestRegisterArray:
+    def test_write_read(self):
+        r = RegisterArray(3)
+        r.write(1, "hello")
+        assert r.read(1) == "hello"
+        assert r.read(0) is None
+
+    def test_bounds_checked(self):
+        r = RegisterArray(2)
+        with pytest.raises(MemoryError_):
+            r.write(2, "x")
+        with pytest.raises(MemoryError_):
+            r.read(-1)
+
+    def test_snapshot_all(self):
+        r = RegisterArray(2)
+        r.write(0, "a")
+        assert r.snapshot_all() == ("a", None)
+
+
+class TestSnapshotObject:
+    def test_update_scan(self):
+        s = SnapshotObject(3)
+        s.update(2, 42)
+        assert s.scan() == (None, None, 42)
+
+    def test_scan_is_copy(self):
+        s = SnapshotObject(2)
+        snap = s.scan()
+        s.update(0, "later")
+        assert snap == (None, None)
+
+    def test_bounds(self):
+        s = SnapshotObject(1)
+        with pytest.raises(MemoryError_):
+            s.update(1, "x")
+
+
+class TestSharedMemory:
+    def test_objects_created_on_demand(self):
+        m = SharedMemory(3)
+        r = m.register_array("R")
+        assert m.register_array("R") is r
+        s = m.snapshot_object("S")
+        assert m.snapshot_object("S") is s
+
+    def test_type_confusion_rejected(self):
+        m = SharedMemory(2)
+        m.register_array("X")
+        with pytest.raises(MemoryError_):
+            m.snapshot_object("X")
+
+    def test_get_unknown(self):
+        m = SharedMemory(2)
+        with pytest.raises(MemoryError_):
+            m.get("nope")
+
+    def test_object_names(self):
+        m = SharedMemory(2)
+        m.register_array("b")
+        m.snapshot_object("a")
+        assert m.object_names() == ("a", "b")

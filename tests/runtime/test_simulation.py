@@ -1,0 +1,178 @@
+"""Unit tests for the validation harness itself."""
+
+import pytest
+
+from repro.runtime.simulation import (
+    ValidationReport,
+    check_trace,
+    run_once,
+    validate_protocol,
+)
+from repro.runtime.scheduler import ExecutionTrace
+from repro.tasks.zoo import identity_task
+from repro.topology.simplex import Simplex, Vertex
+
+
+def correct_builder(task):
+    def build(inputs):
+        factories = {}
+        for x in inputs.vertices:
+            def make(xv):
+                def factory(pid):
+                    def body():
+                        yield ("write", "R", xv.value)
+                        yield ("decide", xv)
+
+                    return body()
+
+                return factory
+
+            factories[x.color] = make(x)
+        return factories
+
+    return build
+
+
+def wrong_color_builder(task):
+    def build(inputs):
+        factories = {}
+        for x in inputs.vertices:
+            def make(xv):
+                def factory(pid):
+                    def body():
+                        yield ("decide", Vertex((xv.color + 1) % 3, xv.value))
+
+                    return body()
+
+                return factory
+
+            factories[x.color] = make(x)
+        return factories
+
+    return build
+
+
+class TestCheckTrace:
+    def test_ok(self, identity3):
+        sigma = identity3.input_complex.facets[0]
+        trace = ExecutionTrace(decisions={v.color: v for v in sigma.vertices})
+        assert check_trace(identity3, sigma, trace) is None
+
+    def test_missing_decision(self, identity3):
+        sigma = identity3.input_complex.facets[0]
+        trace = ExecutionTrace(decisions={})
+        assert "never decided" in check_trace(identity3, sigma, trace)
+
+    def test_wrong_color(self, identity3):
+        sigma = identity3.input_complex.facets[0]
+        decisions = {v.color: Vertex((v.color + 1) % 3, v.value) for v in sigma.vertices}
+        assert "own-colored" in check_trace(
+            identity3, sigma, ExecutionTrace(decisions=decisions)
+        )
+
+    def test_not_in_delta(self, identity3):
+        sigma = identity3.input_complex.facets[0]
+        flipped = {
+            v.color: Vertex(v.color, 1 - v.value) for v in sigma.vertices
+        }
+        trace = ExecutionTrace(decisions=flipped)
+        reason = check_trace(identity3, sigma, trace)
+        assert reason is not None and "Δ" in reason
+
+
+class TestValidateProtocol:
+    def test_correct_protocol_passes(self, identity3):
+        report = validate_protocol(
+            identity3, correct_builder(identity3), random_runs=3
+        )
+        assert report.ok
+        assert report.runs > 0
+        assert report.mean_steps > 0
+
+    def test_violations_collected(self, identity3):
+        report = validate_protocol(
+            identity3,
+            wrong_color_builder(identity3),
+            participation="facets",
+            random_runs=1,
+        )
+        assert not report.ok
+        v = report.violations[0]
+        assert v.schedule
+        assert "own-colored" in v.reason
+
+    def test_participation_facets_only(self, identity3):
+        report = validate_protocol(
+            identity3, correct_builder(identity3),
+            participation="facets", random_runs=1,
+        )
+        # 8 facets x (6 sequential + 1 random)
+        assert report.runs == 8 * 7
+
+    def test_unknown_participation(self, identity3):
+        with pytest.raises(ValueError):
+            validate_protocol(
+                identity3, correct_builder(identity3), participation="nope"
+            )
+
+    def test_exhaustive_limit(self, identity3):
+        report = validate_protocol(
+            identity3,
+            correct_builder(identity3),
+            participation="facets",
+            random_runs=0,
+            exhaustive_limit=10,
+        )
+        assert report.ok
+
+    def test_run_once(self, identity3):
+        sigma = identity3.input_complex.facets[0]
+        decisions, reason = run_once(
+            identity3, correct_builder(identity3), sigma, seed=3
+        )
+        assert reason is None
+        assert set(decisions) == {0, 1, 2}
+
+    def test_report_repr(self):
+        assert "0 runs" in repr(ValidationReport())
+
+
+class TestImpossibilityIsObservable:
+    """Naive protocols for unsolvable tasks must produce violations."""
+
+    def test_decide_own_input_fails_consensus(self, consensus3):
+        # "everyone decides their own input" breaks agreement on mixed inputs
+        report = validate_protocol(
+            consensus3, correct_builder(consensus3),
+            participation="facets", random_runs=0,
+        )
+        assert not report.ok
+        assert any("Δ" in v.reason for v in report.violations)
+
+    def test_zero_round_map_cannot_solve_approximate_agreement(self):
+        # the best zero-communication rule still violates some schedule
+        from repro.tasks.zoo import approximate_agreement_task
+        from repro.topology.simplex import Vertex
+
+        task = approximate_agreement_task(2)
+
+        def build(inputs):
+            factories = {}
+            for x in inputs.vertices:
+                def make(xv):
+                    def factory(pid):
+                        def body():
+                            # decide the scaled own input (a legal vertex)
+                            yield ("decide", Vertex(xv.color, 2 * xv.value))
+
+                        return body()
+
+                    return factory
+
+                factories[x.color] = make(x)
+            return factories
+
+        report = validate_protocol(
+            task, build, participation="facets", random_runs=0
+        )
+        assert not report.ok  # spread 2 > 1 on mixed inputs

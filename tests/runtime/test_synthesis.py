@@ -1,0 +1,78 @@
+"""Unit tests for end-to-end protocol synthesis."""
+
+import pytest
+
+from repro.runtime.simulation import validate_protocol
+from repro.runtime.synthesis import SynthesisError, synthesize_protocol
+from repro.solvability import decide_solvability
+from repro.tasks.zoo import (
+    consensus_task,
+    constant_task,
+    identity_task,
+    loop_agreement_task,
+    path_task,
+    set_agreement_task,
+    triangle_loop,
+)
+
+
+class TestDirectMode:
+    def test_identity(self, identity3):
+        p = synthesize_protocol(identity3)
+        assert p.mode == "direct"
+        assert p.rounds == 0
+        report = validate_protocol(identity3, p.factories, random_runs=5)
+        assert report.ok
+
+    def test_path_task_needs_one_round(self):
+        t = path_task(3)
+        p = synthesize_protocol(t)
+        assert p.mode == "direct"
+        assert p.rounds == 1
+        assert validate_protocol(t, p.factories, random_runs=10).ok
+
+    def test_constant(self):
+        t = constant_task(3)
+        p = synthesize_protocol(t)
+        assert validate_protocol(t, p.factories, random_runs=5).ok
+
+
+class TestFigure7Mode:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: identity_task(3),
+            lambda: set_agreement_task(3, 3),
+            lambda: loop_agreement_task(triangle_loop(True)),
+        ],
+    )
+    def test_forced_figure7(self, make):
+        task = make()
+        p = synthesize_protocol(task, prefer_direct=False)
+        assert p.mode == "figure-7"
+        report = validate_protocol(task, p.factories, random_runs=8)
+        assert report.ok, report.violations[:2]
+
+    def test_verdict_reused(self, identity3):
+        verdict = decide_solvability(identity3)
+        p = synthesize_protocol(identity3, verdict=verdict, prefer_direct=False)
+        assert p.verdict is verdict
+
+
+class TestGuards:
+    def test_unsolvable_rejected(self, consensus3):
+        with pytest.raises(SynthesisError):
+            synthesize_protocol(consensus3)
+
+    def test_factories_reject_non_input(self, identity3):
+        from repro.topology.simplex import chrom
+
+        p = synthesize_protocol(identity3)
+        with pytest.raises(SynthesisError):
+            p.factories(chrom((0, "not-an-input")))
+
+    def test_two_process_direct_only(self):
+        # two-process solvable tasks must synthesize via the direct mode
+        t = path_task(3)
+        p = synthesize_protocol(t, prefer_direct=True)
+        assert p.mode == "direct"

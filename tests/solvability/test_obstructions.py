@@ -1,0 +1,184 @@
+"""Unit tests for the impossibility obstructions."""
+
+import pytest
+
+from repro.solvability.obstructions import (
+    corollary_5_5,
+    corollary_5_6,
+    homological_obstruction,
+    two_process_solvable,
+)
+from repro.splitting.pipeline import link_connected_form
+from repro.tasks.zoo import (
+    consensus_task,
+    constant_task,
+    identity_task,
+    inputless_set_agreement_task,
+    loop_agreement_task,
+    path_task,
+    triangle_loop,
+    two_process_fork_task,
+)
+
+
+class TestCorollary55:
+    def test_consensus_detected(self, consensus3):
+        w = corollary_5_5(consensus3)
+        assert w is not None
+        assert w.kind == "corollary-5.5"
+
+    def test_hourglass_after_split(self, hourglass):
+        res = link_connected_form(hourglass)
+        assert corollary_5_5(res.task) is not None
+
+    def test_hourglass_before_split_detected_via_crossing(self, hourglass):
+        # pre-split, every path between the solo outputs of P0 and P1
+        # crosses the waist: the crossing-aware check already fires
+        assert corollary_5_5(hourglass) is not None
+
+    def test_majority_after_transform(self, majority):
+        res = link_connected_form(majority)
+        w = corollary_5_5(res.task)
+        assert w is not None
+
+    def test_identity_clean(self, identity3):
+        assert corollary_5_5(identity3) is None
+
+    def test_constant_clean(self):
+        assert corollary_5_5(constant_task(3)) is None
+
+    def test_2set_agreement_not_detected(self):
+        # 2-set agreement is unsolvable but NOT by articulation points
+        t = inputless_set_agreement_task(3, 2)
+        res = link_connected_form(t)
+        assert corollary_5_5(res.task) is None
+
+
+class TestCorollary56:
+    def test_requires_single_facet(self, majority):
+        assert corollary_5_6(majority) is None  # multi-facet: no conclusion
+
+    def test_identity_no_witness(self):
+        from repro.tasks.zoo import random_single_input_task
+
+        t = random_single_input_task(1)
+        # solvable random task: must not produce a witness
+        assert corollary_5_6(t) is None
+
+    def test_hourglass_not_detected(self, hourglass):
+        # the small lobe's loop a0-b1-a1-c1 stays inside one link component
+        # of the waist — a cycle that does NOT cross the LAP — so 5.6 gives
+        # no conclusion on the hourglass (5.5 is the right tool there)
+        assert corollary_5_6(hourglass) is None
+
+    def test_pinwheel_pre_split(self, pinwheel):
+        # every 4-cycle of an input edge crosses a LAP: the split graph of
+        # Δ(Skel¹ I) is a forest
+        w = corollary_5_6(pinwheel)
+        assert w is not None
+
+    def test_2set_agreement_clean(self):
+        # the 4-cycles of 2-set agreement do not cross any LAP (there are
+        # none), so the corollary must not fire
+        t = inputless_set_agreement_task(3, 2)
+        assert corollary_5_6(t) is None
+
+
+class TestHomological:
+    def test_2set_agreement_detected(self):
+        t = inputless_set_agreement_task(3, 2)
+        w = homological_obstruction(t)
+        assert w is not None
+        assert w.kind == "homological"
+
+    def test_hollow_loop_agreement_detected(self):
+        t = loop_agreement_task(triangle_loop(False))
+        assert homological_obstruction(t) is not None
+
+    def test_filled_loop_agreement_clean(self):
+        t = loop_agreement_task(triangle_loop(True))
+        assert homological_obstruction(t) is None
+
+    def test_identity_clean(self, identity3):
+        assert homological_obstruction(identity3) is None
+
+    def test_split_pinwheel_detected_by_connectivity(self, pinwheel):
+        res = link_connected_form(pinwheel)
+        w = homological_obstruction(res.task)
+        assert w is not None
+        assert "path-connected" in w.detail
+
+    def test_witness_repr(self):
+        t = inputless_set_agreement_task(3, 2)
+        w = homological_obstruction(t)
+        assert "homological" in repr(w)
+
+
+class TestEmptyImage:
+    def test_clean_on_valid_tasks(self, identity3, hourglass):
+        from repro.solvability import empty_image_obstruction
+
+        assert empty_image_obstruction(identity3) is None
+        assert empty_image_obstruction(hourglass) is None
+
+    def test_fires_on_non_strict_task(self):
+        from repro.solvability import empty_image_obstruction
+        from repro.tasks.task import Task
+        from repro.tasks.zoo import identity_task
+        from repro.topology.carrier import CarrierMap
+        from repro.topology.complexes import SimplicialComplex
+
+        base = identity_task(3)
+        images = {s: base.delta(s) for s in base.input_complex.simplices()}
+        victim = base.input_complex.simplices(dim=0)[0]
+        images[victim] = SimplicialComplex.empty()
+        crippled = Task(
+            base.input_complex,
+            base.output_complex,
+            CarrierMap(base.input_complex, base.output_complex, images, check=False),
+            check=False,
+        )
+        w = empty_image_obstruction(crippled)
+        assert w is not None and w.kind == "empty-image"
+
+
+class TestTwoProcess:
+    def test_path_solvable(self):
+        assert two_process_solvable(path_task(3))
+        assert two_process_solvable(path_task(7))
+
+    def test_fork_unsolvable(self):
+        assert not two_process_solvable(two_process_fork_task())
+
+    def test_consensus_unsolvable(self):
+        assert not two_process_solvable(consensus_task(2))
+
+    def test_identity_solvable(self):
+        assert two_process_solvable(identity_task(2))
+
+    def test_dimension_checked(self, identity3):
+        with pytest.raises(ValueError):
+            two_process_solvable(identity3)
+
+    def test_multi_facet_consistency(self):
+        # two-process consensus restricted to mixed inputs only: the single
+        # shared component constraint propagates around the input complex
+        t = consensus_task(2, values=(0, 1, 2))
+        assert not two_process_solvable(t)
+
+
+class TestSoundnessOnSolvables:
+    """No obstruction may ever fire on a task with a verified witness map."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_solvable_tasks_clean(self, seed):
+        from repro.solvability import Status, decide_solvability
+        from repro.tasks.zoo import random_single_input_task
+
+        task = random_single_input_task(seed)
+        verdict = decide_solvability(task, max_rounds=1, run_obstructions=False)
+        if verdict.status is Status.SOLVABLE:
+            res = link_connected_form(task)
+            assert corollary_5_5(res.task) is None
+            assert homological_obstruction(res.task) is None
+            assert corollary_5_6(res.task) is None

@@ -1,0 +1,131 @@
+"""Unit tests for iterated LAP elimination and the full transform."""
+
+import pytest
+
+from repro.splitting.deformation import unsplit_vertex
+from repro.splitting.lap import is_link_connected_task, local_articulation_points
+from repro.splitting.pipeline import (
+    SplittingDidNotConverge,
+    eliminate_laps,
+    link_connected_form,
+)
+from repro.tasks.canonical import canonicalize_if_needed, is_canonical
+from repro.tasks.zoo import random_single_input_task
+from repro.topology.simplex import Vertex
+
+
+class TestEliminateLaps:
+    def test_hourglass_one_step(self, hourglass):
+        result = eliminate_laps(hourglass)
+        assert result.n_splits == 1
+        assert is_link_connected_task(result.task)
+
+    def test_pinwheel_nine_steps(self, pinwheel):
+        result = eliminate_laps(pinwheel)
+        assert result.n_splits == 9
+        assert is_link_connected_task(result.task)
+
+    def test_no_op_when_clean(self, identity3):
+        result = eliminate_laps(identity3)
+        assert result.n_splits == 0
+        assert result.task is identity3
+
+    def test_intermediate_tasks_canonical(self, pinwheel):
+        result = eliminate_laps(pinwheel)
+        for step in result.steps:
+            assert is_canonical(step.after)
+
+    def test_budget_enforced(self, pinwheel):
+        with pytest.raises(SplittingDidNotConverge):
+            eliminate_laps(pinwheel, max_steps=2)
+
+    def test_project_vertex_unsplits(self, pinwheel):
+        result = eliminate_laps(pinwheel)
+        for v in result.task.output_complex.vertices:
+            orig = result.project_vertex(v)
+            assert orig in set(pinwheel.output_complex.vertices)
+
+
+class TestLinkConnectedForm:
+    def test_hourglass(self, hourglass):
+        res = link_connected_form(hourglass)
+        assert res.n_splits == 1
+        assert len(res.task.output_complex.connected_components()) == 2
+        assert res.task.input_complex == hourglass.input_complex
+
+    def test_pinwheel_three_components(self, pinwheel):
+        res = link_connected_form(pinwheel)
+        assert len(res.task.output_complex.connected_components()) == 3
+
+    def test_pinwheel_components_miss_one_solo_vertex(self, pinwheel):
+        # Section 6.2: no component contains copies of all three
+        # solo-decision vertices (i, i)
+        res = link_connected_form(pinwheel)
+        for comp in res.task.output_complex.connected_components():
+            diag_colors = {
+                res.project_vertex(v).color
+                for v in comp
+                if res.project_vertex(v).color == res.project_vertex(v).value
+            }
+            assert len(diag_colors) == 2
+
+    def test_majority_canonicalizes_first(self, majority):
+        res = link_connected_form(majority)
+        assert res.canonical.task is not majority
+        assert is_link_connected_task(res.task)
+        assert res.n_splits > 0
+
+    def test_projection_composes_to_original_outputs(self, majority):
+        res = link_connected_form(majority)
+        originals = set(majority.output_complex.vertices)
+        for v in res.task.output_complex.vertices:
+            assert res.project_vertex(v) in originals
+
+    def test_two_process_skips_splitting(self):
+        from repro.tasks.zoo import path_task
+
+        res = link_connected_form(path_task(3))
+        assert res.n_splits == 0
+
+    def test_final_task_valid(self, pinwheel, hourglass, majority):
+        for t in (pinwheel, hourglass, majority):
+            link_connected_form(t).task.validate()
+
+
+class TestOrderIndependence:
+    """Theorem 4.3 does not fix the elimination order; structural outcomes
+    (component counts, facet counts) must not depend on it."""
+
+    def _eliminate_with_order(self, task, reverse: bool):
+        from repro.splitting.deformation import split_lap
+
+        current = canonicalize_if_needed(task).task
+        splits = 0
+        while True:
+            laps = local_articulation_points(current)
+            if not laps:
+                return current, splits
+            lap = laps[-1] if reverse else laps[0]
+            current = split_lap(current, lap, check=False).after
+            splits += 1
+
+    @pytest.mark.parametrize("task_name", ["pinwheel", "hourglass"])
+    def test_component_count_invariant(self, task_name, pinwheel, hourglass):
+        task = {"pinwheel": pinwheel, "hourglass": hourglass}[task_name]
+        fwd, n1 = self._eliminate_with_order(task, reverse=False)
+        bwd, n2 = self._eliminate_with_order(task, reverse=True)
+        assert n1 == n2
+        assert len(fwd.output_complex.connected_components()) == len(
+            bwd.output_complex.connected_components()
+        )
+        assert len(fwd.output_complex.facets) == len(bwd.output_complex.facets)
+
+    @pytest.mark.parametrize("seed", [2, 5, 8])
+    def test_random_tasks_invariant(self, seed):
+        task = random_single_input_task(seed, n_facets=7)
+        fwd, n1 = self._eliminate_with_order(task, reverse=False)
+        bwd, n2 = self._eliminate_with_order(task, reverse=True)
+        assert n1 == n2
+        assert len(fwd.output_complex.connected_components()) == len(
+            bwd.output_complex.connected_components()
+        )

@@ -1,0 +1,172 @@
+"""Unit tests for canonical tasks (Section 3)."""
+
+import pytest
+
+from repro.tasks.canonical import (
+    canonicalize,
+    canonicalize_if_needed,
+    chromatic_product_simplex,
+    is_canonical,
+    product_vertex,
+    split_product_vertex,
+    unique_vertex_preimage,
+    vertex_preimages,
+)
+from repro.tasks.task import TaskError
+from repro.topology.simplex import Simplex, Vertex, chrom
+
+
+class TestProductConstruction:
+    def test_product_simplex(self):
+        x = chrom((0, "a"), (1, "b"))
+        y = chrom((0, "p"), (1, "q"))
+        prod = chromatic_product_simplex(x, y)
+        assert prod == Simplex([Vertex(0, ("a", "p")), Vertex(1, ("b", "q"))])
+
+    def test_mismatched_ids_rejected(self):
+        with pytest.raises(ValueError):
+            chromatic_product_simplex(chrom((0, "a")), chrom((1, "b")))
+
+    def test_product_vertex_roundtrip(self):
+        u, v = Vertex(2, "in"), Vertex(2, "out")
+        w = product_vertex(u, v)
+        assert split_product_vertex(w) == (u, v)
+
+    def test_product_vertex_color_checked(self):
+        with pytest.raises(ValueError):
+            product_vertex(Vertex(0, "a"), Vertex(1, "b"))
+
+
+class TestIsCanonical:
+    def test_hourglass_already_canonical(self, hourglass):
+        assert is_canonical(hourglass)
+
+    def test_pinwheel_already_canonical(self, pinwheel):
+        assert is_canonical(pinwheel)
+
+    def test_figure3_not_canonical(self, figure3):
+        assert not is_canonical(figure3)
+
+    def test_majority_not_canonical(self, majority):
+        assert not is_canonical(majority)
+
+    def test_canonicalized_is_canonical(self, figure3, majority):
+        assert is_canonical(canonicalize(figure3).task)
+        assert is_canonical(canonicalize(majority).task)
+
+
+class TestCanonicalize:
+    def test_input_complex_unchanged(self, figure3):
+        cf = canonicalize(figure3)
+        assert cf.task.input_complex == figure3.input_complex
+
+    def test_output_vertices_are_products(self, figure3):
+        cf = canonicalize(figure3)
+        for w in cf.task.output_complex.vertices:
+            x, y = split_product_vertex(w)
+            assert x in set(figure3.input_complex.vertices)
+            assert y in set(figure3.output_complex.vertices)
+
+    def test_shared_facet_duplicated(self, figure3):
+        # Figure 4: the green facet appears once per input facet in O*
+        cf = canonicalize(figure3)
+        green_copies = [
+            f
+            for f in cf.task.output_complex.facets
+            if {split_product_vertex(w)[1].value for w in f.vertices}
+            == {"g0", "g1", "g2"}
+        ]
+        assert len(green_copies) == 2
+
+    def test_canonical_task_is_valid(self, figure3):
+        cf = canonicalize(figure3)
+        cf.task.validate()
+
+    def test_delta_star_rigid_chromatic(self, majority):
+        cf = canonicalize(majority)
+        assert cf.task.delta.is_rigid()
+        assert cf.task.delta.is_chromatic()
+        assert cf.task.delta.is_monotonic()
+
+    def test_projection_is_chromatic_simplicial(self, figure3):
+        cf = canonicalize(figure3)
+        cf.projection.validate()
+        assert cf.projection.is_chromatic()
+
+    def test_projection_inverts_lift(self, figure3):
+        cf = canonicalize(figure3)
+        x = figure3.input_complex.vertices[0]
+        y = figure3.delta(Simplex([x])).vertices[0]
+        lifted = cf.lift_decision(x, y)
+        assert cf.project_vertex(lifted) == y
+
+    def test_facet_count(self, figure3):
+        # one O* facet per (input facet, allowed output facet) pair
+        cf = canonicalize(figure3)
+        expected = sum(
+            len(figure3.delta(sigma).facets)
+            for sigma in figure3.input_complex.facets
+        )
+        assert len(cf.task.output_complex.facets) == expected
+
+
+class TestPreimages:
+    def test_unique_preimage_in_canonical(self, figure3):
+        cf = canonicalize(figure3)
+        for w in cf.task.output_complex.vertices:
+            x = unique_vertex_preimage(cf.task, w)
+            assert x == cf.preimage_input_vertex(w)
+            assert x in set(cf.task.input_complex.vertices)
+
+    def test_ambiguous_preimage_raises(self, figure3):
+        # the green facet's vertices have two preimages in the raw task
+        shared = [
+            w
+            for w in figure3.output_complex.vertices
+            if len(vertex_preimages(figure3, w)) > 1
+        ]
+        assert shared
+        with pytest.raises(TaskError):
+            unique_vertex_preimage(figure3, shared[0])
+
+    def test_hourglass_preimages(self, hourglass):
+        from repro.tasks.zoo import hourglass_articulation_vertex
+
+        y = hourglass_articulation_vertex()
+        x = unique_vertex_preimage(hourglass, y)
+        assert x.color == 0
+
+
+class TestCanonicalizeIfNeeded:
+    def test_reuses_canonical_task(self, hourglass):
+        cf = canonicalize_if_needed(hourglass)
+        assert cf.task is hourglass
+        w = hourglass.output_complex.vertices[0]
+        assert cf.project_vertex(w) == w
+
+    def test_transforms_non_canonical(self, figure3):
+        cf = canonicalize_if_needed(figure3)
+        assert cf.task is not figure3
+        assert is_canonical(cf.task)
+
+
+class TestSolvabilityEquivalence:
+    """Theorem 3.1: T solvable iff T* solvable (checked by the decider)."""
+
+    @pytest.mark.parametrize("seed", [3, 11, 19])
+    def test_random_tasks(self, seed):
+        from repro.solvability import decide_solvability
+        from repro.tasks.zoo import random_single_input_task
+
+        task = random_single_input_task(seed)
+        star = canonicalize(task).task
+        v1 = decide_solvability(task, max_rounds=1)
+        v2 = decide_solvability(star, max_rounds=1)
+        if v1.solvable is not None and v2.solvable is not None:
+            assert v1.solvable == v2.solvable
+
+    def test_majority(self, majority):
+        from repro.solvability import decide_solvability
+
+        star = canonicalize(majority).task
+        assert decide_solvability(star, max_rounds=1).solvable is False

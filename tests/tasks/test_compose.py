@@ -1,0 +1,108 @@
+"""Unit tests for sequential task composition."""
+
+import pytest
+
+from repro.solvability import Status, decide_solvability
+from repro.tasks.compose import (
+    composable,
+    compose_protocol_factories,
+    sequential_composition,
+)
+from repro.tasks.task import TaskError
+from repro.tasks.zoo import identity_task, set_agreement_task
+
+
+@pytest.fixture
+def identity():
+    return identity_task(3, values=(0, 1))
+
+
+@pytest.fixture
+def identity_pair(identity):
+    # identity's outputs are literally its inputs: composes with itself
+    return identity, identity
+
+
+class TestComposability:
+    def test_identity_self_composable(self, identity):
+        assert composable(identity, identity)
+
+    def test_set_agreement_into_identity(self):
+        # 3-set agreement over {0,1,2} outputs any triple over 0..2,
+        # which identity over (0,1,2) accepts as input
+        first = set_agreement_task(3, 3)
+        second = identity_task(3, values=(0, 1, 2))
+        assert composable(first, second)
+
+    def test_incompatible_rejected(self, identity):
+        other = identity_task(3, values=("a", "b"))
+        assert not composable(identity, other)
+        with pytest.raises(TaskError, match="compose"):
+            sequential_composition(identity, other)
+
+
+class TestComposedTask:
+    def test_identity_is_neutral(self, identity):
+        composed = sequential_composition(identity, identity)
+        assert composed.input_complex == identity.input_complex
+        for s in identity.input_complex.simplices():
+            assert composed.delta(s) == identity.delta(s)
+
+    def test_composition_validates(self):
+        first = set_agreement_task(3, 3)
+        second = identity_task(3, values=(0, 1, 2))
+        composed = sequential_composition(first, second)
+        composed.validate()
+
+    def test_composed_delta_is_union(self):
+        first = set_agreement_task(3, 3)
+        second = set_agreement_task(3, 2, values=(0, 1, 2))
+        composed = sequential_composition(first, second)
+        sigma = first.input_complex.facets[0]
+        # composing with 2-set agreement: at most two distinct values
+        for f in composed.delta(sigma).facets:
+            assert len({v.value for v in f.vertices}) <= 2
+
+    def test_both_solvable_implies_composition_solvable(self):
+        first = identity_task(3, values=(0, 1))
+        second = identity_task(3, values=(0, 1))
+        composed = sequential_composition(first, second)
+        assert decide_solvability(composed, max_rounds=1).solvable is True
+
+    def test_composition_with_unsolvable_second_factor(self):
+        # identity ; 2-set-agreement == 2-set agreement: still unsolvable
+        first = identity_task(3, values=(0, 1, 2))
+        second = set_agreement_task(3, 2)
+        composed = sequential_composition(first, second)
+        verdict = decide_solvability(composed, max_rounds=0)
+        assert verdict.status is Status.UNSOLVABLE
+
+
+class TestComposedProtocols:
+    def test_identity_then_identity_runs(self, identity):
+        from repro import synthesize_protocol
+        from repro.runtime import validate_protocol
+
+        protocol = synthesize_protocol(identity)
+        composed_task = sequential_composition(identity, identity)
+        build = compose_protocol_factories(protocol.factories, protocol.factories)
+        report = validate_protocol(
+            composed_task, build, participation="facets", random_runs=4
+        )
+        assert report.ok, report.violations[:2]
+
+    def test_stage_namespaces_do_not_collide(self):
+        from repro import synthesize_protocol
+        from repro.runtime import validate_protocol
+        from repro.tasks.zoo import set_agreement_task
+
+        first = set_agreement_task(3, 3)
+        second = identity_task(3, values=(0, 1, 2))
+        p1 = synthesize_protocol(first, prefer_direct=False)  # uses Figure 7
+        p2 = synthesize_protocol(second)
+        composed_task = sequential_composition(first, second)
+        build = compose_protocol_factories(p1.factories, p2.factories)
+        report = validate_protocol(
+            composed_task, build, participation="facets", random_runs=2
+        )
+        assert report.ok, report.violations[:2]

@@ -1,0 +1,70 @@
+"""Section 3 works for any number of processes (Theorem 3.1's generality).
+
+The splitting machinery is three-process-specific, but canonicalization
+and the task model are not; these tests run them at n = 4 to catch hidden
+three-process assumptions.
+"""
+
+import pytest
+
+from repro.splitting.deformation import SplittingError, split_lap
+from repro.splitting.lap import LocalArticulationPoint, local_articulation_points
+from repro.tasks.canonical import canonicalize, is_canonical
+from repro.tasks.zoo import consensus_task, identity_task, set_agreement_task
+
+
+class TestFourProcessTasks:
+    def test_identity_valid(self):
+        t = identity_task(4)
+        t.validate()
+        assert t.n_processes == 4
+        assert t.input_complex.dim == 3
+
+    def test_consensus_valid(self):
+        t = consensus_task(4)
+        t.validate()
+        assert len(t.output_complex.facets) == 2
+
+    def test_set_agreement_valid(self):
+        t = set_agreement_task(4, 3, values=(0, 1))
+        t.validate()
+
+    def test_canonicalize_consensus(self):
+        t = consensus_task(4)
+        cf = canonicalize(t)
+        cf.task.validate()
+        assert is_canonical(cf.task)
+        assert cf.task.input_complex == t.input_complex
+
+    def test_canonical_projection(self):
+        t = consensus_task(4)
+        cf = canonicalize(t)
+        for w in cf.task.output_complex.vertices:
+            assert cf.project_vertex(w) in set(t.output_complex.vertices)
+
+    def test_lap_detection_runs(self):
+        # links are 2-dimensional here; detection must still work
+        t = consensus_task(4)
+        laps = local_articulation_points(t)
+        assert isinstance(laps, tuple)
+
+    def test_splitting_guarded(self):
+        t = consensus_task(4)
+        sigma = t.input_complex.facets[0]
+        dummy = LocalArticulationPoint(
+            vertex=t.output_complex.vertices[0],
+            facet=sigma,
+            components=(frozenset(), frozenset()),
+        )
+        with pytest.raises(SplittingError, match="three-process"):
+            split_lap(t, dummy)
+
+    def test_decision_guarded(self):
+        from repro.solvability import decide_solvability
+
+        with pytest.raises(ValueError, match="three"):
+            decide_solvability(identity_task(4))
+
+    def test_colorless_variant(self):
+        c = identity_task(4).colorless_variant()
+        assert c.input_complex.dim == 1  # values {0,1} collapse

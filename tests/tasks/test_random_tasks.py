@@ -1,0 +1,52 @@
+"""Unit tests for the random task generators."""
+
+import pytest
+
+from repro.tasks.canonical import is_canonical
+from repro.tasks.zoo import (
+    random_output_complex,
+    random_single_input_task,
+    random_sparse_task,
+)
+
+
+class TestRandomOutputComplex:
+    def test_properties(self):
+        import random
+
+        k = random_output_complex(random.Random(5), n_values=3, n_facets=6)
+        assert k.dim == 2
+        assert k.is_chromatic()
+
+    def test_seeded_determinism(self):
+        import random
+
+        a = random_output_complex(random.Random(9))
+        b = random_output_complex(random.Random(9))
+        assert a == b
+
+
+class TestRandomTasks:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_valid_tasks(self, seed):
+        task = random_single_input_task(seed)
+        task.validate()
+        assert task.n_processes == 3
+        assert task.is_output_reachable()
+
+    def test_deterministic(self):
+        assert random_single_input_task(4) == random_single_input_task(4)
+
+    def test_different_seeds_differ(self):
+        tasks = {random_single_input_task(s) for s in range(6)}
+        assert len(tasks) > 1
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_sparse_valid(self, seed):
+        task = random_sparse_task(seed)
+        task.validate()
+
+    def test_single_facet_tasks_canonical(self):
+        # single input facet + per-ids induced images => unique preimages
+        for seed in range(5):
+            assert is_canonical(random_single_input_task(seed))

@@ -1,0 +1,194 @@
+"""Unit tests for the Task model."""
+
+import pytest
+
+from repro.tasks.task import (
+    ColorlessTask,
+    Task,
+    TaskError,
+    delta_from_function,
+    task_from_function,
+)
+from repro.topology.carrier import CarrierMap
+from repro.topology.chromatic import ChromaticComplex
+from repro.topology.complexes import SimplicialComplex
+from repro.topology.simplex import Simplex, Vertex, chrom
+
+
+@pytest.fixture
+def tiny_task():
+    """One input facet, one output facet, identity-like Δ."""
+    inputs = ChromaticComplex([chrom((0, "x"), (1, "y"))], name="I")
+    outputs = ChromaticComplex([chrom((0, "p"), (1, "q"))], name="O")
+
+    def rule(sigma):
+        yield Simplex(
+            Vertex(v.color, {"x": "p", "y": "q"}[v.value]) for v in sigma.vertices
+        )
+
+    return task_from_function(inputs, outputs, rule, name="tiny")
+
+
+class TestValidation:
+    def test_valid_task(self, tiny_task):
+        tiny_task.validate()
+
+    def test_hourglass_valid(self, hourglass):
+        hourglass.validate()
+
+    def test_dimension_mismatch(self):
+        inputs = ChromaticComplex([chrom((0, "x"), (1, "y"))])
+        outputs = ChromaticComplex([chrom((0, "p"))])
+        with pytest.raises(TaskError, match="dimension"):
+            Task(inputs, outputs, {})
+
+    def test_non_chromatic_input_rejected(self):
+        inputs = SimplicialComplex([("a", "b")])
+        outputs = ChromaticComplex([chrom((0, "p"), (1, "q"))])
+        with pytest.raises(TaskError, match="chromatic"):
+            Task(inputs, outputs, {})
+
+    def test_impure_input_rejected(self):
+        inputs = ChromaticComplex([chrom((0, "x"), (1, "y")), chrom((2, "z"))])
+        outputs = ChromaticComplex([chrom((0, "p"), (1, "q"))])
+        with pytest.raises(TaskError, match="pure"):
+            Task(inputs, outputs, {})
+
+    def test_empty_image_rejected(self):
+        inputs = ChromaticComplex([chrom((0, "x"), (1, "y"))])
+        outputs = ChromaticComplex([chrom((0, "p"), (1, "q"))])
+        delta = {chrom((0, "x"), (1, "y")): [chrom((0, "p"), (1, "q"))]}
+        with pytest.raises(TaskError, match="empty"):
+            Task(inputs, outputs, delta)
+
+    def test_non_rigid_rejected(self):
+        inputs = ChromaticComplex([chrom((0, "x"), (1, "y"))])
+        outputs = ChromaticComplex([chrom((0, "p"), (1, "q"))])
+        delta = {
+            chrom((0, "x")): [chrom((0, "p"))],
+            chrom((1, "y")): [chrom((1, "q"))],
+            chrom((0, "x"), (1, "y")): [chrom((0, "p"))],  # image too small
+        }
+        with pytest.raises(TaskError):
+            Task(inputs, outputs, delta)
+
+    def test_non_chromatic_delta_rejected(self):
+        inputs = ChromaticComplex([chrom((0, "x"), (1, "y"))])
+        outputs = ChromaticComplex([chrom((0, "p"), (1, "q"))])
+        delta = {
+            chrom((0, "x")): [chrom((1, "q"))],  # wrong color
+            chrom((1, "y")): [chrom((1, "q"))],
+            chrom((0, "x"), (1, "y")): [chrom((0, "p"), (1, "q"))],
+        }
+        with pytest.raises(TaskError):
+            Task(inputs, outputs, delta)
+
+    def test_wrong_delta_domain_rejected(self, tiny_task):
+        other = ChromaticComplex([chrom((0, "zz"), (1, "ww"))])
+        delta = CarrierMap(other, tiny_task.output_complex, {}, check=False)
+        with pytest.raises(TaskError, match="domain"):
+            Task(tiny_task.input_complex, tiny_task.output_complex, delta)
+
+
+class TestStructure:
+    def test_n_processes(self, tiny_task, hourglass):
+        assert tiny_task.n_processes == 2
+        assert hourglass.n_processes == 3
+
+    def test_colors(self, hourglass):
+        assert hourglass.colors == frozenset({0, 1, 2})
+
+    def test_input_facets(self, hourglass):
+        assert len(hourglass.input_facets()) == 1
+
+    def test_outputs_for_raw(self, tiny_task):
+        img = tiny_task.outputs_for([Vertex(0, "x")])
+        assert img.vertices == (Vertex(0, "p"),)
+
+    def test_repr_contains_name(self, tiny_task):
+        assert "tiny" in repr(tiny_task)
+
+    def test_equality(self, tiny_task):
+        clone = Task(
+            tiny_task.input_complex,
+            tiny_task.output_complex,
+            tiny_task.delta,
+            name="other-name",
+        )
+        assert clone == tiny_task
+        assert hash(clone) == hash(tiny_task)
+
+
+class TestReachability:
+    def test_reachable_outputs(self, hourglass):
+        assert hourglass.is_output_reachable()
+
+    def test_restrict_to_reachable(self):
+        inputs = ChromaticComplex([chrom((0, "x"), (1, "y"))])
+        outputs = ChromaticComplex(
+            [chrom((0, "p"), (1, "q")), chrom((0, "dead"), (1, "dead"))]
+        )
+        delta = {
+            chrom((0, "x")): [chrom((0, "p"))],
+            chrom((1, "y")): [chrom((1, "q"))],
+            chrom((0, "x"), (1, "y")): [chrom((0, "p"), (1, "q"))],
+        }
+        task = Task(inputs, outputs, delta)
+        assert not task.is_output_reachable()
+        trimmed = task.restrict_to_reachable()
+        assert trimmed.is_output_reachable()
+        assert len(trimmed.output_complex.facets) == 1
+
+
+class TestLegalOutputs:
+    def test_legal(self, tiny_task):
+        sigma = chrom((0, "x"), (1, "y"))
+        decisions = {0: Vertex(0, "p"), 1: Vertex(1, "q")}
+        assert tiny_task.is_legal_output(sigma, decisions)
+
+    def test_missing_process(self, tiny_task):
+        sigma = chrom((0, "x"), (1, "y"))
+        assert not tiny_task.is_legal_output(sigma, {0: Vertex(0, "p")})
+
+    def test_wrong_color(self, tiny_task):
+        sigma = chrom((0, "x"), (1, "y"))
+        decisions = {0: Vertex(1, "q"), 1: Vertex(1, "q")}
+        assert not tiny_task.is_legal_output(sigma, decisions)
+
+    def test_not_in_delta(self, tiny_task):
+        sigma = chrom((0, "x"), (1, "y"))
+        decisions = {0: Vertex(0, "p"), 1: Vertex(1, "nope")}
+        assert not tiny_task.is_legal_output(sigma, decisions)
+
+
+class TestColorlessVariant:
+    def test_hourglass_colorless(self, hourglass):
+        c = hourglass.colorless_variant()
+        assert isinstance(c, ColorlessTask)
+        assert c.input_complex.dim == 2
+        # output values are 0, 1, 2
+        assert set(c.output_complex.vertices) == {0, 1, 2}
+
+    def test_colorless_carrier_monotone(self, hourglass):
+        c = hourglass.colorless_variant()
+        assert c.delta.is_monotonic()
+
+    def test_repr(self, hourglass):
+        c = hourglass.colorless_variant()
+        assert "colorless" in repr(c)
+
+
+class TestBuilders:
+    def test_delta_from_function(self, tiny_task):
+        delta = delta_from_function(
+            tiny_task.input_complex,
+            tiny_task.output_complex,
+            lambda s: tiny_task.delta(s).facets,
+        )
+        assert delta == tiny_task.delta
+
+    def test_task_from_function_validates(self):
+        inputs = ChromaticComplex([chrom((0, "x"), (1, "y"))])
+        outputs = ChromaticComplex([chrom((0, "p"), (1, "q"))])
+        with pytest.raises(TaskError):
+            task_from_function(inputs, outputs, lambda s: [])

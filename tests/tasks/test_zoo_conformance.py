@@ -1,0 +1,58 @@
+"""Conformance sweep: every zoo task obeys the full task contract.
+
+One parametrized battery over the complete CLI-addressable zoo: paper
+definition validation, reachability, serialization round-trip, colorless
+projection, and the analysis report — the baseline guarantees a
+downstream user relies on for *any* task the library hands out.
+"""
+
+import pytest
+
+from repro.__main__ import ZOO
+from repro.io import task_from_json, task_to_json
+from repro.tasks.canonical import canonicalize_if_needed, is_canonical
+
+ZOO_ITEMS = sorted(ZOO.items())
+ZOO_IDS = [name for name, _ in ZOO_ITEMS]
+
+
+@pytest.fixture(scope="module")
+def zoo_tasks():
+    return {name: make() for name, make in ZOO_ITEMS}
+
+
+@pytest.mark.parametrize("name", ZOO_IDS)
+class TestZooConformance:
+    def test_validates(self, name, zoo_tasks):
+        zoo_tasks[name].validate()
+
+    def test_reachable_or_restrictable(self, name, zoo_tasks):
+        task = zoo_tasks[name]
+        trimmed = task.restrict_to_reachable()
+        assert trimmed.is_output_reachable()
+        trimmed.validate()
+
+    def test_serialization_roundtrip(self, name, zoo_tasks):
+        task = zoo_tasks[name]
+        assert task_from_json(task_to_json(task)) == task
+
+    def test_colorless_variant_builds(self, name, zoo_tasks):
+        variant = zoo_tasks[name].colorless_variant()
+        assert variant.delta.is_monotonic()
+
+    def test_canonicalization_succeeds(self, name, zoo_tasks):
+        cf = canonicalize_if_needed(zoo_tasks[name].restrict_to_reachable())
+        assert is_canonical(cf.task)
+        cf.task.validate()
+
+    def test_delta_contract(self, name, zoo_tasks):
+        task = zoo_tasks[name]
+        assert task.delta.is_monotonic()
+        assert task.delta.is_rigid()
+        assert task.delta.is_chromatic()
+        assert task.delta.is_strict()
+
+    def test_colors_consistent(self, name, zoo_tasks):
+        task = zoo_tasks[name]
+        assert task.input_complex.colors() == task.output_complex.colors()
+        assert task.input_complex.is_properly_colored_by(task.n_processes)

@@ -1,0 +1,98 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import ZOO, build_parser, main
+
+
+class TestList:
+    def test_runs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "hourglass" in out
+        assert "pinwheel" in out
+
+    def test_zoo_constructors_all_valid(self):
+        for name, make in ZOO.items():
+            task = make()
+            task.validate()
+
+
+class TestAnalyze:
+    def test_hourglass(self, capsys):
+        assert main(["analyze", "hourglass"]) == 0
+        out = capsys.readouterr().out
+        assert "unsolvable" in out
+        assert "corollary" in out
+
+    def test_identity(self, capsys):
+        assert main(["analyze", "identity"]) == 0
+        assert "solvable" in capsys.readouterr().out
+
+    def test_unknown_task(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "martian-task"])
+
+    def test_json_export(self, tmp_path, capsys):
+        out = tmp_path / "summary.json"
+        main(["analyze", "hourglass", "--json", str(out)])
+        payload = json.loads(out.read_text())
+        assert payload["verdict"] == "unsolvable"
+        assert payload["splits"] == 1
+
+    def test_dot_export(self, tmp_path):
+        prefix = str(tmp_path / "hg")
+        main(["analyze", "hourglass", "--dot", prefix])
+        assert (tmp_path / "hg-output.dot").exists()
+        assert (tmp_path / "hg-split.dot").exists()
+
+    def test_save_split_roundtrip(self, tmp_path, capsys):
+        from repro.io import load_task
+
+        out = tmp_path / "split.json"
+        main(["analyze", "pinwheel", "--save-split", str(out)])
+        split = load_task(str(out))
+        assert len(split.output_complex.connected_components()) == 3
+
+    def test_analyze_json_file(self, tmp_path, capsys):
+        from repro.io import save_task
+        from repro.tasks.zoo import hourglass_task
+
+        path = tmp_path / "task.json"
+        save_task(hourglass_task(), str(path))
+        assert main(["analyze", str(path)]) == 0
+
+
+class TestSynthesize:
+    def test_identity(self, capsys):
+        assert main(["synthesize", "identity", "--runs", "2", "--facets-only"]) == 0
+        out = capsys.readouterr().out
+        assert "direct" in out
+        assert "all executions legal" in out
+
+    def test_figure7_mode(self, capsys):
+        assert main(
+            ["synthesize", "identity", "--figure7", "--runs", "2", "--facets-only"]
+        ) == 0
+        assert "figure-7" in capsys.readouterr().out
+
+    def test_unsolvable_fails(self, capsys):
+        assert main(["synthesize", "consensus", "--runs", "1"]) == 1
+
+
+class TestCensus:
+    def test_runs(self, capsys):
+        assert main(["census", "--seeds", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "population: 4" in out
+
+    def test_sparse(self, capsys):
+        assert main(["census", "--seeds", "3", "--sparse"]) == 0
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,21 @@
+"""Run embedded doctests so docstring examples stay truthful."""
+
+import doctest
+import importlib
+
+import pytest
+
+MODULE_NAMES = [
+    "repro.topology.simplex",
+    "repro.topology.subdivision",
+]
+
+
+@pytest.mark.parametrize("name", MODULE_NAMES)
+def test_doctests(name):
+    # importlib avoids the attribute-shadowing quirk: repro.topology
+    # re-exports a `simplex` *function*, which `import … as` would pick up
+    module = importlib.import_module(name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted >= 1

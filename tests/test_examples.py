@@ -1,0 +1,36 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; these tests keep them honest.
+The scripts print to stdout, which pytest captures.
+"""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = [
+    "examples/quickstart.py",
+    "examples/hourglass_impossibility.py",
+    "examples/pinwheel_impossibility.py",
+    "examples/synthesize_and_run.py",
+    "examples/custom_task_checker.py",
+    "examples/task_repair.py",
+    "examples/protocol_debugging.py",
+]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script", EXAMPLES, ids=[s.split("/")[-1] for s in EXAMPLES])
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(script, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_hourglass_example_dot_flag(tmp_path, capsys, monkeypatch):
+    dot = str(tmp_path / "hg.dot")
+    monkeypatch.setattr(sys, "argv", ["hourglass_impossibility.py", "--dot", dot])
+    runpy.run_path("examples/hourglass_impossibility.py", run_name="__main__")
+    assert (tmp_path / "hg.dot").exists()

@@ -1,0 +1,173 @@
+"""End-to-end integration tests: the full pipeline on the paper's examples.
+
+Each test runs the complete chain
+``task → canonicalize → split → decide → (synthesize → simulate)``
+and checks the paper's headline claims.
+"""
+
+import pytest
+
+from repro import decide_solvability, link_connected_form, synthesize_protocol
+from repro.runtime import validate_protocol
+from repro.solvability import Status
+from repro.tasks.zoo import (
+    fan_task,
+    hourglass_task,
+    identity_task,
+    loop_agreement_task,
+    majority_consensus_task,
+    pinwheel_task,
+    random_single_input_task,
+    set_agreement_task,
+    triangle_loop,
+)
+
+
+class TestPaperHeadlines:
+    def test_hourglass_full_story(self):
+        """Figure 2 + Section 6.1: colorless-ACT-compatible yet unsolvable."""
+        task = hourglass_task()
+        # (a) one LAP, split disconnects O into two components
+        res = link_connected_form(task)
+        assert res.n_splits == 1
+        assert len(res.task.output_complex.connected_components()) == 2
+        # (b) the colorless continuous-map condition holds pre-split
+        from repro.solvability.map_search import find_map
+        from repro.topology.subdivision import iterated_barycentric_subdivision
+
+        sub = iterated_barycentric_subdivision(task.input_complex, 2)
+        assert find_map(sub, task.delta, chromatic=False) is not None
+        # (c) nevertheless unsolvable, detected after splitting
+        verdict = decide_solvability(task)
+        assert verdict.status is Status.UNSOLVABLE
+
+    def test_pinwheel_full_story(self):
+        """Figure 8 + Section 6.2: three components, none covering all solos."""
+        task = pinwheel_task()
+        res = link_connected_form(task)
+        comps = res.task.output_complex.connected_components()
+        assert len(comps) == 3
+        verdict = decide_solvability(task)
+        assert verdict.status is Status.UNSOLVABLE
+
+    def test_majority_full_story(self):
+        """Figure 1: needs canonicalization first, then LAP reasoning."""
+        task = majority_consensus_task()
+        verdict = decide_solvability(task)
+        assert verdict.status is Status.UNSOLVABLE
+        assert verdict.stats["n_splits"] > 0
+
+    def test_solvable_task_round_trip(self):
+        """decide → synthesize → simulate, via the Figure 7 construction."""
+        task = set_agreement_task(3, 3)
+        verdict = decide_solvability(task)
+        assert verdict.status is Status.SOLVABLE
+        protocol = synthesize_protocol(task, verdict=verdict, prefer_direct=False)
+        assert protocol.mode == "figure-7"
+        report = validate_protocol(
+            task, protocol.factories, participation="facets", random_runs=3
+        )
+        assert report.ok, report.violations[:2]
+
+    def test_loop_agreement_pair(self):
+        """Contractible loop solvable, hollow loop unsolvable."""
+        assert decide_solvability(
+            loop_agreement_task(triangle_loop(True))
+        ).solvable is True
+        assert decide_solvability(
+            loop_agreement_task(triangle_loop(False))
+        ).solvable is False
+
+
+class TestFanFamily:
+    @pytest.mark.parametrize("r", [2, 3, 4])
+    def test_fan_splits_into_r_components(self, r):
+        task = fan_task(components=r)
+        res = link_connected_form(task)
+        assert res.n_splits >= 1
+        assert len(res.task.output_complex.connected_components()) == r
+
+    def test_fan_with_long_strips(self):
+        task = fan_task(components=2, strip_length=4)
+        res = link_connected_form(task)
+        assert len(res.task.output_complex.connected_components()) == 2
+
+    @pytest.mark.parametrize("r", [2, 3])
+    def test_untwisted_fan_solvable(self, r):
+        # everyone can settle on strip 0: constants solve the plain fan
+        verdict = decide_solvability(fan_task(components=r))
+        assert verdict.solvable is True
+        assert verdict.witness_rounds == 0
+
+    @pytest.mark.parametrize("r", [2, 3])
+    def test_twisted_fan_unsolvable(self, r):
+        # solo decisions of processes 1 and 2 live on different strips,
+        # which the split hub disconnects: Corollary 5.5 applies
+        verdict = decide_solvability(fan_task(components=r, twisted=True))
+        assert verdict.solvable is False
+        assert verdict.obstruction.kind == "corollary-5.5"
+
+
+class TestApproximateAgreement:
+    """A solvable task that genuinely needs communication (r >= 1)."""
+
+    def test_requires_one_round(self):
+        from repro.tasks.zoo import approximate_agreement_task
+
+        task = approximate_agreement_task(2)
+        verdict = decide_solvability(task, max_rounds=1)
+        assert verdict.solvable is True
+        assert verdict.witness_rounds == 1
+
+    def test_synthesized_protocol_runs(self):
+        from repro.tasks.zoo import approximate_agreement_task
+
+        task = approximate_agreement_task(2)
+        protocol = synthesize_protocol(task, max_rounds=1)
+        assert protocol.rounds >= 1  # zero-round protocols cannot solve it
+        report = validate_protocol(
+            task, protocol.factories, participation="facets", random_runs=4
+        )
+        assert report.ok, report.violations[:2]
+
+
+class TestRandomTaskPipeline:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_decided_solvables_synthesize_and_validate(self, seed):
+        task = random_single_input_task(seed)
+        verdict = decide_solvability(task, max_rounds=1)
+        if verdict.status is not Status.SOLVABLE:
+            pytest.skip("seed not solvable at this depth")
+        protocol = synthesize_protocol(task, verdict=verdict)
+        report = validate_protocol(task, protocol.factories, random_runs=5)
+        assert report.ok, report.violations[:2]
+
+    @pytest.mark.parametrize("seed", range(6, 10))
+    def test_figure7_path_on_random_solvables(self, seed):
+        task = random_single_input_task(seed)
+        verdict = decide_solvability(task, max_rounds=1)
+        if verdict.status is not Status.SOLVABLE:
+            pytest.skip("seed not solvable at this depth")
+        protocol = synthesize_protocol(task, verdict=verdict, prefer_direct=False)
+        report = validate_protocol(task, protocol.factories, random_runs=5)
+        assert report.ok, report.violations[:2]
+
+
+class TestCharacterizationTheorem:
+    """Theorem 5.1 in executable form: a verdict's two sides are coherent."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_witness_implies_obstruction_free(self, seed):
+        task = random_single_input_task(seed)
+        verdict = decide_solvability(task, max_rounds=1)
+        if verdict.status is Status.SOLVABLE:
+            assert verdict.obstruction is None
+        if verdict.status is Status.UNSOLVABLE:
+            assert verdict.witness_map is None
+
+    def test_identity_direct_equals_figure7(self):
+        task = identity_task(3)
+        direct = synthesize_protocol(task, prefer_direct=True)
+        fig7 = synthesize_protocol(task, prefer_direct=False)
+        assert validate_protocol(task, direct.factories, random_runs=3).ok
+        assert validate_protocol(task, fig7.factories, random_runs=3).ok

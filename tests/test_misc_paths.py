@@ -1,0 +1,115 @@
+"""Cross-cutting coverage for less-traveled code paths."""
+
+import json
+
+import pytest
+
+from repro import decide_solvability
+from repro.solvability import Status
+from repro.tasks.zoo import fan_task, path_task, random_multi_facet_task
+
+
+class TestDecisionKnobs:
+    def test_barycentric_chromatic_witness_rejected(self):
+        with pytest.raises(ValueError, match="barycentric"):
+            decide_solvability(
+                path_task(3), engine="barycentric", chromatic_witness=True
+            )
+
+    def test_empty_image_path_through_decide(self):
+        from repro.tasks.zoo import random_sparse_task
+
+        verdict = decide_solvability(random_sparse_task(121), max_rounds=0)
+        assert verdict.status is Status.UNSOLVABLE
+        assert verdict.obstruction.kind in ("empty-image", "corollary-5.5")
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_multi_facet_random_decidable(self, seed):
+        verdict = decide_solvability(random_multi_facet_task(seed), max_rounds=1)
+        assert verdict.status is not Status.UNKNOWN
+
+    def test_twisted_fan_report(self):
+        from repro.analysis import analyze_task
+
+        report = analyze_task(fan_task(2, 2, twisted=True))
+        assert report.solvable is False
+        assert report.o_prime_components == 2
+
+
+class TestSchedulerEdges:
+    def test_run_with_schedule_records_trace(self):
+        from repro.runtime.scheduler import run_with_schedule
+
+        def factory(pid):
+            def body():
+                yield ("write", "R", pid)
+                yield ("decide", pid)
+
+            return body()
+
+        trace = run_with_schedule(2, {0: factory, 1: factory}, [1, 0, 1, 0])
+        assert trace.schedule[:2] == [1, 0]
+        assert trace.decisions == {0: 0, 1: 1}
+
+    def test_max_steps_propagates(self):
+        from repro.runtime.scheduler import SchedulerError, run_with_schedule
+
+        def spinner(pid):
+            def body():
+                while True:
+                    yield ("scan", "S")
+
+            return body()
+
+        with pytest.raises(SchedulerError):
+            run_with_schedule(1, {0: spinner}, [0] * 100, max_steps=10)
+
+
+class TestIOEdges:
+    def test_bad_json_payloads(self):
+        from repro.io import SerializationError, task_from_json
+
+        with pytest.raises(SerializationError):
+            task_from_json({"$": "complex"})
+        with pytest.raises(SerializationError):
+            task_from_json({"no": "tag"})
+
+    def test_load_nonstrict_with_check_false(self, tmp_path):
+        from repro.io import load_task, save_task
+        from repro.splitting import link_connected_form
+        from repro.tasks.zoo import random_sparse_task
+
+        split = link_connected_form(random_sparse_task(121)).task
+        path = str(tmp_path / "nonstrict.json")
+        save_task(split, path)
+        with pytest.raises(Exception):
+            load_task(path)  # strict validation fails
+        loaded = load_task(path, check=False)
+        assert loaded == split
+
+    def test_dump_is_valid_json(self, tmp_path, hourglass):
+        from repro.io import save_task
+
+        path = tmp_path / "hg.json"
+        save_task(hourglass, str(path))
+        payload = json.loads(path.read_text())
+        assert payload["$"] == "task"
+
+
+class TestCLIExtra:
+    def test_analyze_twisted_fan(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["analyze", "twisted-fan"]) == 0
+        assert "unsolvable" in capsys.readouterr().out
+
+    def test_synthesize_respects_max_rounds(self, capsys):
+        from repro.__main__ import main
+
+        code = main(
+            ["synthesize", "approx-agreement", "--max-rounds", "1",
+             "--runs", "1", "--facets-only"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "r=1" in out

@@ -1,0 +1,126 @@
+"""Property-based tests over random tasks for the full pipeline.
+
+Hypothesis drives seeds into the random-task generators and checks the
+pipeline invariants the paper's theorems promise — on tasks nobody
+hand-picked.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io import task_from_json, task_to_json
+from repro.solvability import decide_solvability
+from repro.splitting import is_link_connected_task, link_connected_form
+from repro.tasks.canonical import canonicalize, is_canonical
+from repro.tasks.zoo import random_single_input_task, random_sparse_task
+
+seeds = st.integers(min_value=0, max_value=5_000)
+
+
+class TestCanonicalizationProperties:
+    @given(seeds)
+    @settings(max_examples=12, deadline=None)
+    def test_canonical_form_invariants(self, seed):
+        task = random_single_input_task(seed)
+        cf = canonicalize(task)
+        star = cf.task
+        star.validate()
+        assert is_canonical(star)
+        assert star.input_complex == task.input_complex
+        originals = set(task.output_complex.vertices)
+        for w in star.output_complex.vertices:
+            assert cf.project_vertex(w) in originals
+
+    @given(seeds)
+    @settings(max_examples=12, deadline=None)
+    def test_facet_counts_multiply(self, seed):
+        task = random_single_input_task(seed)
+        star = canonicalize(task).task
+        expected = sum(
+            len(task.delta(sigma).facets) for sigma in task.input_complex.facets
+        )
+        assert len(star.output_complex.facets) == expected
+
+
+class TestSplittingProperties:
+    @given(seeds)
+    @settings(max_examples=12, deadline=None)
+    def test_pipeline_invariants(self, seed):
+        task = random_sparse_task(seed)
+        res = link_connected_form(task)
+        if res.task.delta.is_strict():
+            res.task.validate()
+        else:
+            # legitimate non-strict outcome: monotonization emptied an
+            # image, which certifies unsolvability (see DESIGN.md); the
+            # remaining carrier-map structure must still be sound
+            from repro.solvability import empty_image_obstruction
+
+            assert res.task.delta.is_monotonic()
+            assert empty_image_obstruction(res.task) is not None
+        assert is_link_connected_task(res.task)
+        assert res.task.input_complex == task.input_complex
+        originals = set(task.output_complex.vertices)
+        for v in res.task.output_complex.vertices:
+            assert res.project_vertex(v) in originals
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_pipeline_deterministic(self, seed):
+        task = random_sparse_task(seed)
+        a = link_connected_form(task)
+        b = link_connected_form(task)
+        assert a.n_splits == b.n_splits
+        assert a.task == b.task
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_facet_count_never_shrinks(self, seed):
+        # splitting replaces facets one-for-one within σ and duplicates
+        # across other facets: the output never loses facets
+        task = random_sparse_task(seed)
+        res = link_connected_form(task)
+        assert len(res.task.output_complex.facets) >= len(
+            res.canonical.task.output_complex.facets
+        )
+
+
+class TestDecisionProperties:
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_verdict_deterministic(self, seed):
+        task = random_single_input_task(seed)
+        v1 = decide_solvability(task, max_rounds=1)
+        v2 = decide_solvability(task, max_rounds=1)
+        assert v1.status == v2.status
+
+    @given(seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_witnesses_verified(self, seed):
+        from repro.solvability import Status, verify_map
+
+        task = random_single_input_task(seed)
+        verdict = decide_solvability(task, max_rounds=1)
+        if verdict.status is Status.SOLVABLE and verdict.witness_map is not None:
+            assert verify_map(
+                verdict.witness_subdivision,
+                verdict.transform.task.delta,
+                verdict.witness_map,
+            )
+
+
+class TestSerializationProperties:
+    @given(seeds)
+    @settings(max_examples=12, deadline=None)
+    def test_random_task_roundtrip(self, seed):
+        task = random_single_input_task(seed)
+        assert task_from_json(task_to_json(task)) == task
+
+    @given(seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_split_task_roundtrip(self, seed):
+        # check=False: the pipeline may legitimately output non-strict
+        # tasks (an empty image is itself an unsolvability certificate)
+        task = random_sparse_task(seed)
+        split = link_connected_form(task).task
+        assert task_from_json(task_to_json(split), check=False) == split

@@ -1,0 +1,133 @@
+"""Algebraic laws: compositions, identities and functoriality.
+
+Carrier maps and simplicial maps form the category-theoretic backbone of
+the paper's framework; these tests pin the laws the rest of the library
+silently relies on (identity, associativity, carrier/map compatibility,
+subdivision carrier functoriality).
+"""
+
+import pytest
+
+from repro.topology.carrier import CarrierMap
+from repro.topology.chromatic import ChromaticComplex
+from repro.topology.complexes import SimplicialComplex
+from repro.topology.maps import SimplicialMap, identity_map
+from repro.topology.simplex import Simplex, chrom
+from repro.topology.subdivision import (
+    chromatic_subdivision,
+    iterated_chromatic_subdivision,
+)
+
+
+def identity_carrier(k: SimplicialComplex) -> CarrierMap:
+    return CarrierMap(k, k, {s: [s] for s in k.simplices()}, check=False)
+
+
+@pytest.fixture
+def chain():
+    """Three complexes and two composable carrier maps A -> B -> C."""
+    a = SimplicialComplex([("x", "y")])
+    b = SimplicialComplex([("p", "q"), ("q", "r")])
+    c = SimplicialComplex([("u", "v"), ("v", "w")])
+    f = CarrierMap(
+        a,
+        b,
+        {
+            Simplex(["x"]): [("p",)],
+            Simplex(["y"]): [("r",)],
+            Simplex(["x", "y"]): b,
+        },
+    )
+    g = CarrierMap(
+        b,
+        c,
+        {
+            Simplex(["p"]): [("u",)],
+            Simplex(["q"]): [("v",)],
+            Simplex(["r"]): [("w",)],
+            Simplex(["p", "q"]): [("u", "v")],
+            Simplex(["q", "r"]): [("v", "w")],
+        },
+    )
+    return a, b, c, f, g
+
+
+class TestCarrierMapLaws:
+    def test_identity_left(self, chain):
+        a, b, _, f, _ = chain
+        assert identity_carrier(a).compose(f) == f
+
+    def test_identity_right(self, chain):
+        a, b, _, f, _ = chain
+        assert f.compose(identity_carrier(b)) == f
+
+    def test_composition_images(self, chain):
+        a, b, c, f, g = chain
+        comp = f.compose(g)
+        assert comp(Simplex(["x"])).vertices == ("u",)
+        assert set(comp(Simplex(["x", "y"])).vertices) == {"u", "v", "w"}
+
+    def test_composition_monotone(self, chain):
+        a, _, _, f, g = chain
+        assert f.compose(g).is_monotonic()
+
+    def test_associativity(self, chain):
+        a, b, c, f, g = chain
+        d = SimplicialComplex([("z",)])
+        h = CarrierMap(
+            c,
+            d,
+            {s: [("z",)] for s in c.simplices()},
+            check=False,
+        )
+        assert f.compose(g).compose(h) == f.compose(g.compose(h))
+
+
+class TestSimplicialMapLaws:
+    def test_identity_neutral(self, disk):
+        f = identity_map(disk)
+        g = SimplicialMap(disk, disk, {"a": "b", "b": "a", "c": "c"})
+        assert f.compose(g) == g
+        assert g.compose(identity_map(disk)) == g
+
+    def test_composition_associative(self, disk):
+        f = SimplicialMap(disk, disk, {"a": "b", "b": "a", "c": "c"})
+        g = SimplicialMap(disk, disk, {"a": "c", "b": "b", "c": "a"})
+        h = SimplicialMap(disk, disk, {"a": "a", "b": "c", "c": "b"})
+        assert f.compose(g).compose(h) == f.compose(g.compose(h))
+
+    def test_image_functorial(self, disk):
+        f = SimplicialMap(disk, disk, {"a": "a", "b": "a", "c": "c"})
+        g = SimplicialMap(disk, disk, {"a": "c", "b": "c", "c": "c"})
+        comp = f.compose(g)
+        assert comp.image_complex().is_subcomplex_of(g.image_complex())
+
+
+class TestSubdivisionFunctoriality:
+    def test_iterated_carrier_equals_composition(self, triangle_complex):
+        one = chromatic_subdivision(triangle_complex)
+        two_step = chromatic_subdivision(one.complex)
+        composed = one.carrier.compose(two_step.carrier)
+        direct = iterated_chromatic_subdivision(triangle_complex, 2)
+        assert direct.carrier == composed
+
+    def test_carrier_respects_faces(self, triangle_complex):
+        sub = iterated_chromatic_subdivision(triangle_complex, 2)
+        for tau in triangle_complex.simplices():
+            img = sub.carrier(tau)
+            for face in tau.proper_faces():
+                assert sub.carrier(face).is_subcomplex_of(img)
+
+    def test_subdivision_of_subcomplex_glues(self):
+        k = ChromaticComplex(
+            [
+                chrom((0, "a"), (1, "b"), (2, "c")),
+                chrom((0, "a'"), (1, "b"), (2, "c")),
+            ]
+        )
+        sub = chromatic_subdivision(k)
+        shared_edge = chrom((1, "b"), (2, "c"))
+        edge_sub = sub.carrier(shared_edge)
+        # both facets' subdivisions contain the shared edge's subdivision
+        for facet in k.facets:
+            assert edge_sub.is_subcomplex_of(sub.carrier(facet))

@@ -1,0 +1,35 @@
+"""Unit tests for DOT export."""
+
+from repro.topology.complexes import SimplicialComplex
+from repro.topology.dot import complex_to_dot, write_dot
+from repro.topology.simplex import chrom
+
+
+class TestDotExport:
+    def test_contains_all_vertices_and_edges(self, disk):
+        dot = complex_to_dot(disk)
+        assert dot.count("--") == 3
+        assert dot.startswith("graph")
+        assert dot.rstrip().endswith("}")
+
+    def test_chromatic_fill_colors(self):
+        k = SimplicialComplex([chrom((0, "a"), (1, "b"))])
+        dot = complex_to_dot(k)
+        assert "fillcolor" in dot
+        assert "0:'a'" in dot
+
+    def test_dashed_bare_edges(self):
+        k = SimplicialComplex([("a", "b", "c"), ("c", "d")])
+        dot = complex_to_dot(k)
+        assert "style=dashed" in dot
+        assert "style=solid" in dot
+
+    def test_name_override(self, disk):
+        assert 'graph "mygraph"' in complex_to_dot(disk, name="mygraph")
+
+    def test_write_dot(self, disk, tmp_path):
+        path = tmp_path / "out.dot"
+        write_dot(disk, str(path))
+        text = path.read_text()
+        assert text.startswith("graph")
+        assert text.endswith("}\n")

@@ -1,0 +1,110 @@
+"""Unit tests for geometric realizations and PL maps."""
+
+import numpy as np
+import pytest
+
+from repro.topology.complexes import SimplicialComplex
+from repro.topology.geometry import (
+    Realization,
+    RealizationPoint,
+    barycenter,
+    pl_image,
+    sample_simplex_points,
+)
+from repro.topology.maps import SimplicialMap
+from repro.topology.simplex import Simplex
+
+
+class TestRealizationPoint:
+    def test_valid(self):
+        p = RealizationPoint(Simplex(["a", "b"]), (0.25, 0.75))
+        assert p.as_weights() == {"a": 0.25, "b": 0.75}
+
+    def test_coordinate_count_checked(self):
+        with pytest.raises(ValueError):
+            RealizationPoint(Simplex(["a", "b"]), (1.0,))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RealizationPoint(Simplex(["a", "b"]), (-0.5, 1.5))
+
+    def test_sum_checked(self):
+        with pytest.raises(ValueError):
+            RealizationPoint(Simplex(["a", "b"]), (0.2, 0.2))
+
+    def test_support_drops_zero_weights(self):
+        p = RealizationPoint(Simplex(["a", "b"]), (0.0, 1.0))
+        assert p.support() == Simplex(["b"])
+
+    def test_barycenter(self, triangle):
+        p = barycenter(triangle)
+        assert all(abs(c - 1 / 3) < 1e-12 for c in p.coords)
+
+
+class TestRealization:
+    def test_explicit_positions(self, disk):
+        r = Realization(disk, positions={"a": (0, 0), "b": (1, 0), "c": (0, 1)})
+        mid = RealizationPoint(Simplex(["a", "b"]), (0.5, 0.5))
+        assert np.allclose(r.locate(mid), [0.5, 0.0])
+
+    def test_missing_positions_rejected(self, disk):
+        with pytest.raises(ValueError):
+            Realization(disk, positions={"a": (0, 0)})
+
+    def test_default_layout_deterministic(self, disk):
+        r1 = Realization(disk)
+        r2 = Realization(disk)
+        for v in disk.vertices:
+            assert np.allclose(r1.positions[v], r2.positions[v])
+
+    def test_locate_requires_member_simplex(self, disk):
+        r = Realization(disk, positions={"a": (0, 0), "b": (1, 0), "c": (0, 1)})
+        with pytest.raises(ValueError):
+            r.locate(RealizationPoint(Simplex(["a", "z"]), (0.5, 0.5)))
+
+    def test_vertex_location(self, disk):
+        r = Realization(disk, positions={"a": (0, 0), "b": (1, 0), "c": (0, 1)})
+        p = RealizationPoint(Simplex(["b"]), (1.0,))
+        assert np.allclose(r.locate(p), [1, 0])
+
+
+class TestPLImage:
+    def test_identity(self, disk):
+        f = SimplicialMap(disk, disk, {v: v for v in disk.vertices})
+        p = barycenter(Simplex(["a", "b", "c"]))
+        q = pl_image(f, p)
+        assert q.simplex == p.simplex
+        assert np.allclose(q.coords, p.coords)
+
+    def test_collapse_accumulates_weights(self):
+        dom = SimplicialComplex([("a", "b")])
+        cod = SimplicialComplex([("u",)])
+        f = SimplicialMap(dom, cod, {"a": "u", "b": "u"})
+        p = RealizationPoint(Simplex(["a", "b"]), (0.3, 0.7))
+        q = pl_image(f, p)
+        assert q.simplex == Simplex(["u"])
+        assert np.allclose(q.coords, [1.0])
+
+    def test_continuity_sample(self, disk):
+        # PL image of nearby points stays nearby under a simplicial map
+        cod = SimplicialComplex([("u", "v", "w")])
+        f = SimplicialMap(disk, cod, {"a": "u", "b": "v", "c": "w"})
+        r = Realization(cod, positions={"u": (0, 0), "v": (1, 0), "w": (0, 1)})
+        pts = sample_simplex_points(Simplex(["a", "b", "c"]), resolution=4)
+        locs = [r.locate(pl_image(f, p)) for p in pts]
+        assert len(locs) == 15
+
+
+class TestSampling:
+    def test_count(self, triangle):
+        pts = sample_simplex_points(triangle, resolution=3)
+        assert len(pts) == 10  # C(3+2, 2)
+
+    def test_includes_vertices(self, triangle):
+        pts = sample_simplex_points(triangle, resolution=2)
+        vertex_supports = [p.support() for p in pts if len(p.support()) == 1]
+        assert len(vertex_supports) == 3
+
+    def test_edge_resolution(self):
+        pts = sample_simplex_points(Simplex(["a", "b"]), resolution=4)
+        assert len(pts) == 5

@@ -1,0 +1,54 @@
+"""Unit tests for link helpers."""
+
+from repro.topology.complexes import SimplicialComplex
+from repro.topology.links import (
+    articulation_vertices,
+    is_link_connected,
+    link,
+    link_components,
+    longest_link_size,
+)
+
+
+class TestLinkFunctions:
+    def test_link_matches_method(self, two_triangles):
+        assert link(two_triangles, "b") == two_triangles.link("b")
+
+    def test_link_components(self, bowtie):
+        comps = link_components(bowtie, "w")
+        assert len(comps) == 2
+
+    def test_is_link_connected(self, disk, bowtie):
+        assert is_link_connected(disk)
+        assert not is_link_connected(bowtie)
+
+
+class TestArticulationVertices:
+    def test_bowtie_waist(self, bowtie):
+        assert articulation_vertices(bowtie) == ("w",)
+
+    def test_disk_has_none(self, disk):
+        assert articulation_vertices(disk) == ()
+
+    def test_path_interior(self):
+        path = SimplicialComplex([("a", "b"), ("b", "c")])
+        assert articulation_vertices(path) == ("b",)
+
+    def test_two_waists(self):
+        k = SimplicialComplex([("a", "b", "w"), ("c", "d", "w"),
+                               ("c", "d", "u"), ("e", "f", "u")])
+        assert set(articulation_vertices(k)) == {"u", "w"}
+
+
+class TestLongestLink:
+    def test_disk(self, disk):
+        assert longest_link_size(disk) == 2
+
+    def test_bowtie(self, bowtie):
+        assert longest_link_size(bowtie) == 4
+
+    def test_empty(self):
+        assert longest_link_size(SimplicialComplex.empty()) == 0
+
+    def test_single_vertex(self):
+        assert longest_link_size(SimplicialComplex([("a",)])) == 0

@@ -1,0 +1,173 @@
+"""Unit tests for simplicial maps and the carried-by relation."""
+
+import pytest
+
+from repro.topology.carrier import CarrierMap
+from repro.topology.chromatic import ChromaticComplex
+from repro.topology.complexes import SimplicialComplex
+from repro.topology.maps import (
+    NotSimplicialError,
+    SimplicialMap,
+    chromatic_projection,
+    identity_map,
+)
+from repro.topology.simplex import Simplex, Vertex, chrom
+from repro.topology.subdivision import chromatic_subdivision
+
+
+@pytest.fixture
+def square_to_edge():
+    # collapse a path of two edges onto a single edge
+    dom = SimplicialComplex([("a", "b"), ("b", "c")])
+    cod = SimplicialComplex([("u", "v")])
+    return SimplicialMap(dom, cod, {"a": "u", "b": "v", "c": "u"})
+
+
+class TestValidation:
+    def test_valid(self, square_to_edge):
+        square_to_edge.validate()
+
+    def test_missing_vertex(self):
+        dom = SimplicialComplex([("a", "b")])
+        cod = SimplicialComplex([("u", "v")])
+        with pytest.raises(NotSimplicialError):
+            SimplicialMap(dom, cod, {"a": "u"})
+
+    def test_image_outside_codomain(self):
+        dom = SimplicialComplex([("a",)])
+        cod = SimplicialComplex([("u",)])
+        with pytest.raises(NotSimplicialError):
+            SimplicialMap(dom, cod, {"a": "zzz"})
+
+    def test_non_simplicial(self):
+        dom = SimplicialComplex([("a", "b")])
+        cod = SimplicialComplex([("u",), ("v",)])  # no edge
+        with pytest.raises(NotSimplicialError):
+            SimplicialMap(dom, cod, {"a": "u", "b": "v"})
+
+    def test_collapse_is_simplicial(self):
+        dom = SimplicialComplex([("a", "b")])
+        cod = SimplicialComplex([("u",)])
+        f = SimplicialMap(dom, cod, {"a": "u", "b": "u"})
+        assert f.apply(Simplex(["a", "b"])) == Simplex(["u"])
+
+
+class TestEvaluation:
+    def test_vertex_image(self, square_to_edge):
+        assert square_to_edge("a") == "u"
+        assert square_to_edge.vertex_image("b") == "v"
+
+    def test_apply(self, square_to_edge):
+        assert square_to_edge(Simplex(["a", "b"])) == Simplex(["u", "v"])
+
+    def test_image_complex(self, square_to_edge):
+        img = square_to_edge.image_complex()
+        assert img == SimplicialComplex([("u", "v")])
+
+    def test_as_dict_is_copy(self, square_to_edge):
+        d = square_to_edge.as_dict()
+        d["a"] = "corrupted"
+        assert square_to_edge("a") == "u"
+
+
+class TestChromatic:
+    def test_is_chromatic(self):
+        dom = ChromaticComplex([chrom((0, "x"), (1, "y"))])
+        cod = ChromaticComplex([chrom((0, "p"), (1, "q"))])
+        f = SimplicialMap(
+            dom, cod, {Vertex(0, "x"): Vertex(0, "p"), Vertex(1, "y"): Vertex(1, "q")}
+        )
+        assert f.is_chromatic()
+
+    def test_color_flip_not_chromatic(self):
+        dom = ChromaticComplex([chrom((0, "x"), (1, "y"))])
+        cod = ChromaticComplex([chrom((0, "p"), (1, "q"))])
+        f = SimplicialMap(
+            dom, cod, {Vertex(0, "x"): Vertex(1, "q"), Vertex(1, "y"): Vertex(0, "p")}
+        )
+        assert not f.is_chromatic()
+
+    def test_chromatic_projection_helper(self):
+        dom = ChromaticComplex([chrom((0, ("x", 1)), (1, ("y", 2)))])
+        cod = ChromaticComplex([chrom((0, "x"), (1, "y"))])
+        f = chromatic_projection(dom, cod, lambda v: v.value[0])
+        assert f.is_chromatic()
+        assert f(Vertex(0, ("x", 1))) == Vertex(0, "x")
+
+
+class TestCarriedBy:
+    def test_identity_carried(self, triangle_complex):
+        delta = CarrierMap(
+            triangle_complex,
+            triangle_complex,
+            {s: [s] for s in triangle_complex.simplices()},
+        )
+        f = identity_map(triangle_complex)
+        assert f.is_carried_by(delta)
+        assert f.carried_by_violation(delta) is None
+
+    def test_subdivision_carried(self, triangle_complex):
+        sub = chromatic_subdivision(triangle_complex)
+        # map every subdivision vertex to the base vertex of its color
+        base_by_color = {v.color: v for v in triangle_complex.vertices}
+        f = SimplicialMap(
+            sub.complex,
+            triangle_complex,
+            {w: base_by_color[w.color] for w in sub.complex.vertices},
+        )
+        delta = CarrierMap(
+            triangle_complex,
+            triangle_complex,
+            {s: [s] for s in triangle_complex.simplices()},
+        )
+        assert f.is_carried_by(delta, via=sub.carrier)
+
+    def test_violation_reported(self, triangle_complex):
+        sub = chromatic_subdivision(triangle_complex)
+        corner = {v.color: v for v in triangle_complex.vertices}
+        # send everything to the single color-0 corner: breaks the carrier
+        # images of the color-1 and color-2 vertices
+        f = SimplicialMap(
+            sub.complex,
+            triangle_complex,
+            {w: corner[0] for w in sub.complex.vertices},
+            check=False,
+        )
+        delta = CarrierMap(
+            triangle_complex,
+            triangle_complex,
+            {s: [s] for s in triangle_complex.simplices()},
+        )
+        assert not f.is_carried_by(delta, via=sub.carrier)
+        assert f.carried_by_violation(delta, via=sub.carrier) is not None
+
+
+class TestAlgebra:
+    def test_compose(self):
+        a = SimplicialComplex([("a",)])
+        b = SimplicialComplex([("b",)])
+        c = SimplicialComplex([("c",)])
+        f = SimplicialMap(a, b, {"a": "b"})
+        g = SimplicialMap(b, c, {"b": "c"})
+        assert f.compose(g)("a") == "c"
+
+    def test_restriction(self, square_to_edge):
+        sub = SimplicialComplex([("a", "b")])
+        r = square_to_edge.restricted_to(sub)
+        assert r.domain == sub
+        with pytest.raises(ValueError):
+            square_to_edge.restricted_to(SimplicialComplex([("zz",)]))
+
+    def test_identity(self, disk):
+        f = identity_map(disk)
+        assert f("a") == "a"
+        assert f.image_complex() == disk
+
+    def test_equality(self, square_to_edge):
+        other = SimplicialMap(
+            square_to_edge.domain,
+            square_to_edge.codomain,
+            {"a": "u", "b": "v", "c": "u"},
+        )
+        assert square_to_edge == other
+        assert hash(square_to_edge) == hash(other)

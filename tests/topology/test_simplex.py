@@ -1,0 +1,183 @@
+"""Unit tests for vertices and simplices."""
+
+import pytest
+
+from repro.topology.simplex import (
+    Simplex,
+    Vertex,
+    chrom,
+    color_of,
+    simplex,
+    vertex_sort_key,
+)
+
+
+class TestVertex:
+    def test_fields(self):
+        v = Vertex(1, "x")
+        assert v.color == 1
+        assert v.value == "x"
+
+    def test_equality_and_hash(self):
+        assert Vertex(0, "a") == Vertex(0, "a")
+        assert Vertex(0, "a") != Vertex(1, "a")
+        assert Vertex(0, "a") != Vertex(0, "b")
+        assert hash(Vertex(2, (1, 2))) == hash(Vertex(2, (1, 2)))
+
+    def test_with_value(self):
+        v = Vertex(3, "old")
+        w = v.with_value("new")
+        assert w.color == 3 and w.value == "new"
+        assert v.value == "old"
+
+    def test_non_int_color_rejected(self):
+        with pytest.raises(TypeError):
+            Vertex("zero", "x")
+
+    def test_unhashable_value_rejected(self):
+        with pytest.raises(TypeError):
+            Vertex(0, ["list"])
+
+    def test_ordering_by_color(self):
+        assert Vertex(0, "z") < Vertex(1, "a")
+
+    def test_repr(self):
+        assert repr(Vertex(1, "v")) == "(1:'v')"
+
+    def test_color_of(self):
+        assert color_of(Vertex(2, "x")) == 2
+        assert color_of("plain") is None
+
+    def test_nested_simplex_value(self):
+        inner = chrom((0, "a"))
+        v = Vertex(0, inner)
+        assert v.value == inner
+
+
+class TestSimplexConstruction:
+    def test_from_iterable(self):
+        s = Simplex(["a", "b"])
+        assert len(s) == 2
+        assert s.dim == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Simplex([])
+
+    def test_duplicates_collapse(self):
+        assert Simplex(["a", "a", "b"]) == Simplex(["a", "b"])
+
+    def test_helper_constructors(self):
+        assert simplex("a", "b") == Simplex(["a", "b"])
+        s = chrom((0, "x"), (1, "y"))
+        assert s.colors() == frozenset({0, 1})
+
+    def test_singleton(self):
+        s = Simplex(["v"])
+        assert s.dim == 0
+        assert "v" in s
+
+
+class TestSimplexStructure:
+    def test_sorted_vertices_deterministic(self):
+        s = chrom((2, "c"), (0, "a"), (1, "b"))
+        assert [v.color for v in s.sorted_vertices()] == [0, 1, 2]
+
+    def test_iteration_order(self):
+        s = chrom((1, "b"), (0, "a"))
+        assert [v.color for v in s] == [0, 1]
+
+    def test_colors_of_colorless_raises(self):
+        with pytest.raises(ValueError):
+            Simplex(["a", "b"]).colors()
+
+    def test_is_chromatic(self):
+        assert chrom((0, "a"), (1, "b")).is_chromatic()
+        assert not Simplex(["a"]).is_chromatic()
+        assert not Simplex([Vertex(0, "a"), Vertex(0, "b")]).is_chromatic()
+
+    def test_vertex_of_color(self):
+        s = chrom((0, "a"), (1, "b"))
+        assert s.vertex_of_color(1) == Vertex(1, "b")
+        with pytest.raises(KeyError):
+            s.vertex_of_color(2)
+
+    def test_vertex_of_color_duplicate_raises(self):
+        s = Simplex([Vertex(0, "a"), Vertex(0, "b")])
+        with pytest.raises(ValueError):
+            s.vertex_of_color(0)
+
+    def test_sort_key_orders_by_dimension_first(self):
+        small = chrom((0, "a"))
+        big = chrom((1, "a"), (2, "b"))
+        assert small.sort_key() < big.sort_key()
+
+
+class TestFaces:
+    def test_face_count(self, triangle):
+        assert len(triangle.faces()) == 7  # 3 + 3 + 1
+
+    def test_faces_of_dimension(self, triangle):
+        assert len(triangle.faces(dim=0)) == 3
+        assert len(triangle.faces(dim=1)) == 3
+        assert len(triangle.faces(dim=2)) == 1
+        assert triangle.faces(dim=3) == ()
+        assert triangle.faces(dim=-1) == ()
+
+    def test_proper_faces_excludes_self(self, triangle):
+        assert triangle not in triangle.proper_faces()
+        assert len(triangle.proper_faces()) == 6
+
+    def test_boundary(self, triangle):
+        bd = triangle.boundary()
+        assert len(bd) == 3
+        assert all(f.dim == 1 for f in bd)
+
+    def test_boundary_of_vertex_empty(self):
+        assert Simplex(["v"]).boundary() == ()
+
+    def test_face_relation(self, triangle):
+        edge = Simplex(list(triangle.vertices)[:2])
+        assert edge <= triangle
+        assert not (triangle <= edge)
+
+
+class TestSimplexAlgebra:
+    def test_union(self):
+        s = Simplex(["a"]).union(Simplex(["b"]))
+        assert s == Simplex(["a", "b"])
+
+    def test_intersection(self):
+        a = Simplex(["a", "b"])
+        b = Simplex(["b", "c"])
+        assert a.intersection(b) == Simplex(["b"])
+        assert a.intersection(Simplex(["z"])) is None
+
+    def test_without(self):
+        s = Simplex(["a", "b"])
+        assert s.without("a") == Simplex(["b"])
+        assert Simplex(["a"]).without("a") is None
+
+    def test_with_vertex(self):
+        assert Simplex(["a"]).with_vertex("b") == Simplex(["a", "b"])
+
+    def test_replace_vertex(self):
+        s = Simplex(["a", "b"]).replace_vertex("a", "z")
+        assert s == Simplex(["z", "b"])
+
+    def test_replace_missing_raises(self):
+        with pytest.raises(KeyError):
+            Simplex(["a"]).replace_vertex("q", "z")
+
+    def test_contains(self):
+        s = Simplex(["a", "b"])
+        assert "a" in s and "z" not in s
+
+
+class TestSortKey:
+    def test_mixed_types_sortable(self):
+        items = [Vertex(0, "x"), "plain", 42]
+        assert sorted(items, key=vertex_sort_key)  # no TypeError
+
+    def test_vertices_sort_before_raw(self):
+        assert vertex_sort_key(Vertex(5, "z")) < vertex_sort_key("a")
