@@ -1,0 +1,160 @@
+"""Perf-core experiment: measure the fast-topology layer end to end.
+
+Two workload families, each run both ways with verdict parity asserted:
+
+* **decision** — zoo tasks through ``decide_solvability`` with the caching
+  layer disabled (the honest baseline: no interning, no memoized complex
+  queries) vs enabled-but-cold;
+* **census** — a seeded random population through the serial engine vs the
+  ``repro.analysis.parallel`` engine.
+
+Results go through :class:`repro.perf.PerfHarness` into
+``benchmarks/BENCH_perf_core.json`` (schema ``repro-perf/1``) so the perf
+trajectory is diffable across PRs.  ``--benchmark-smoke`` shrinks every
+population so tier 2 can exercise the harness and validate the emitted
+schema in seconds:
+
+    pytest benchmarks -m perf --benchmark-smoke
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import decide_solvability
+from repro.analysis import parallel_census, run_census
+from repro.perf import PerfHarness, cache_counters, validate_report
+from repro.tasks.zoo import (
+    hourglass_task,
+    majority_consensus_task,
+    path_task,
+    pinwheel_task,
+    two_process_fork_task,
+)
+from repro.topology import cache_clear, caching_disabled
+
+pytestmark = pytest.mark.perf
+
+JSON_PATH = os.path.join(os.path.dirname(__file__), "BENCH_perf_core.json")
+
+#: (name, constructor, max_rounds) decision workloads per mode
+DECISION_ZOO = {
+    "full": [
+        ("majority", majority_consensus_task, 1),
+        ("hourglass", hourglass_task, 1),
+        ("pinwheel", pinwheel_task, 1),
+        ("path3", lambda: path_task(3), 2),
+    ],
+    "smoke": [
+        ("path3", lambda: path_task(3), 2),
+        ("fork-2p", two_process_fork_task, 1),
+    ],
+}
+
+_HARNESS = PerfHarness("perf_core")
+
+
+def _decide(make, max_rounds):
+    return decide_solvability(make(), max_rounds=max_rounds)
+
+
+def test_decision_cached_vs_uncached(report, smoke):
+    mode = "smoke" if smoke else "full"
+    for name, make, max_rounds in DECISION_ZOO[mode]:
+        cache_clear()
+        with caching_disabled():
+            baseline, m_off = _HARNESS.measure(
+                f"decision:{name}:uncached",
+                _decide,
+                make,
+                max_rounds,
+                meta={"caching": False, "max_rounds": max_rounds, "mode": mode},
+            )
+        m_off.counters["search_nodes"] = baseline.stats.get("search_nodes", 0.0)
+
+        cache_clear()
+        verdict, m_on = _HARNESS.measure(
+            f"decision:{name}:cached",
+            _decide,
+            make,
+            max_rounds,
+            meta={"caching": True, "max_rounds": max_rounds, "mode": mode},
+        )
+        m_on.counters["search_nodes"] = verdict.stats.get("search_nodes", 0.0)
+        m_on.counters.update(cache_counters())
+
+        # the caching layer must be invisible to the mathematics
+        assert verdict.status is baseline.status
+        assert verdict.witness_rounds == baseline.witness_rounds
+        assert (verdict.obstruction is None) == (baseline.obstruction is None)
+
+        ratio = _HARNESS.speedup(
+            f"decision:{name}:uncached", f"decision:{name}:cached"
+        )
+        report.row(
+            workload=f"decision:{name}",
+            uncached_s=round(m_off.best, 4),
+            cached_s=round(m_on.best, 4),
+            speedup=f"{ratio:.2f}x",
+            verdict=verdict.status.value,
+        )
+
+
+def test_census_serial_vs_parallel(report, smoke):
+    population = 10 if smoke else 200
+    workers = 2 if smoke else 8
+    chunksize = 3 if smoke else 8
+    seeds = range(population)
+
+    cache_clear()
+    serial, m_serial = _HARNESS.measure(
+        f"census:{population}:serial",
+        run_census,
+        seeds,
+        meta={"population": population, "workers": 1},
+    )
+    cache_clear()
+    parallel, m_par = _HARNESS.measure(
+        f"census:{population}:parallel",
+        parallel_census,
+        seeds,
+        workers=workers,
+        chunksize=chunksize,
+        meta={"population": population, "workers": workers, "chunksize": chunksize},
+    )
+
+    # scheduling must be invisible: identical aggregates, any worker count
+    assert parallel.as_tuple() == serial.as_tuple()
+
+    ratio = _HARNESS.speedup(
+        f"census:{population}:serial", f"census:{population}:parallel"
+    )
+    report.row(
+        workload=f"census:{population}",
+        serial_s=round(m_serial.best, 4),
+        parallel_s=round(m_par.best, 4),
+        workers=workers,
+        speedup=f"{ratio:.2f}x",
+        solvable=serial.solvable,
+        unsolvable=serial.unsolvable,
+    )
+
+
+def test_emit_json_report(report, smoke, tmp_path):
+    """Write + validate the JSON report (runs after the workloads).
+
+    Smoke runs exercise the full emission path but write to a scratch file
+    so they never clobber the committed full-size ``BENCH_perf_core.json``.
+    """
+    assert _HARNESS.measurements, "workload benches must run before emission"
+    path = str(tmp_path / "BENCH_perf_core.smoke.json") if smoke else JSON_PATH
+    payload = _HARNESS.write(path)
+    assert validate_report(payload) == []
+    report.row(
+        workload="emit",
+        results=len(payload["results"]),
+        json=os.path.basename(path),
+        smoke=smoke,
+    )

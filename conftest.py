@@ -1,0 +1,26 @@
+"""Repo-level pytest plumbing shared by the test and benchmark trees.
+
+``--benchmark-smoke`` shrinks the perf-core benchmark to tiny populations
+so the harness itself (and its JSON schema) is exercised on every PR —
+tier 2 runs ``pytest benchmarks -m perf --benchmark-smoke`` — without the
+full-size measurement cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--benchmark-smoke",
+        action="store_true",
+        default=False,
+        help="run perf benchmarks on tiny populations (schema/no-crash check)",
+    )
+
+
+@pytest.fixture
+def smoke(request) -> bool:
+    """True when ``--benchmark-smoke`` asked for the down-scaled perf run."""
+    return bool(request.config.getoption("--benchmark-smoke"))

@@ -22,7 +22,13 @@ import json
 import sys
 from typing import Callable, Dict
 
-from .analysis import analyze_task, run_census, sparse_census
+from .analysis import (
+    analyze_task,
+    parallel_census,
+    parallel_sparse_census,
+    run_census,
+    sparse_census,
+)
 from .io import load_task, save_task, task_to_json
 from .runtime import synthesize_protocol, validate_protocol
 from .solvability import Status
@@ -129,8 +135,19 @@ def cmd_synthesize(args) -> int:
 
 
 def cmd_census(args) -> int:
-    runner = sparse_census if args.sparse else run_census
-    census = runner(range(args.seeds), max_rounds=args.max_rounds)
+    if args.chunksize < 1:
+        raise SystemExit("--chunksize must be at least 1")
+    if args.workers is not None and args.workers != 1:
+        runner = parallel_sparse_census if args.sparse else parallel_census
+        census = runner(
+            range(args.seeds),
+            max_rounds=args.max_rounds,
+            workers=args.workers or None,
+            chunksize=args.chunksize,
+        )
+    else:
+        runner = sparse_census if args.sparse else run_census
+        census = runner(range(args.seeds), max_rounds=args.max_rounds)
     print(f"population: {census.population}")
     print(f"solvable:   {census.solvable}")
     print(f"unsolvable: {census.unsolvable}")
@@ -172,6 +189,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seeds", type=int, default=20)
     p.add_argument("--sparse", action="store_true")
     p.add_argument("--max-rounds", type=int, default=1)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process count for the parallel engine (0 = cpu count; default serial)",
+    )
+    p.add_argument("--chunksize", type=int, default=8, help="seeds per work item")
     p.set_defaults(fn=cmd_census)
 
     return parser

@@ -1,6 +1,16 @@
-"""Analysis layer: per-task reports and population census."""
+"""Analysis layer: per-task reports and population census (serial + parallel)."""
 
 from .census import Census, run_census, sparse_census
+from .parallel import default_workers, parallel_census, parallel_sparse_census
 from .report import TaskReport, analyze_task
 
-__all__ = ["Census", "TaskReport", "analyze_task", "run_census", "sparse_census"]
+__all__ = [
+    "Census",
+    "TaskReport",
+    "analyze_task",
+    "default_workers",
+    "parallel_census",
+    "parallel_sparse_census",
+    "run_census",
+    "sparse_census",
+]

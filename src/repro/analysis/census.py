@@ -45,6 +45,37 @@ class Census:
             self.certificates["unknown"] += 1
         self.splits_histogram[int(verdict.stats.get("n_splits", 0))] += 1
 
+    def merge(self, other: "Census") -> "Census":
+        """Fold another census into this one (in place); returns ``self``.
+
+        Aggregation is commutative and associative, so parallel workers can
+        be merged in any completion order without changing the result.
+        """
+        self.population += other.population
+        self.solvable += other.solvable
+        self.unsolvable += other.unsolvable
+        self.unknown += other.unknown
+        self.certificates.update(other.certificates)
+        self.witness_depths.update(other.witness_depths)
+        self.splits_histogram.update(other.splits_histogram)
+        return self
+
+    def as_tuple(self) -> tuple:
+        """A canonical, order-independent snapshot of every aggregate.
+
+        Two censuses over the same population are equal iff their tuples
+        are — the parallel-vs-serial parity tests compare these.
+        """
+        return (
+            self.population,
+            self.solvable,
+            self.unsolvable,
+            self.unknown,
+            tuple(sorted(self.certificates.items())),
+            tuple(sorted(self.witness_depths.items(), key=repr)),
+            tuple(sorted(self.splits_histogram.items())),
+        )
+
     def rows(self) -> List[Dict]:
         """Summary rows for benchmark reporting."""
         return [
@@ -54,6 +85,12 @@ class Census:
                 "unsolvable": self.unsolvable,
                 "unknown": self.unknown,
                 "certificates": dict(self.certificates),
+                "witness_depths": {
+                    depth: count
+                    for depth, count in sorted(
+                        self.witness_depths.items(), key=lambda kv: repr(kv[0])
+                    )
+                },
                 "max_splits": max(self.splits_histogram, default=0),
             }
         ]

@@ -23,15 +23,16 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Dict, Optional
 
 from ..splitting.pipeline import TransformResult, link_connected_form
 from ..tasks.task import Task
 from ..topology.maps import SimplicialMap
 from ..topology.subdivision import (
     SubdivisionResult,
-    iterated_barycentric_subdivision,
-    iterated_chromatic_subdivision,
+    SubdivisionTower,
+    barycentric_subdivision,
+    chromatic_subdivision,
 )
 from .map_search import SearchBudgetExceeded, SearchStats, find_map, verify_map
 from .obstructions import (
@@ -99,11 +100,12 @@ OBSTRUCTION_CHECKS = (
 )
 
 
-def _subdivision_engine(name: str) -> Callable[[Task, int], SubdivisionResult]:
+def _subdivision_tower(task: Task, name: str) -> SubdivisionTower:
+    """An incremental ``Sd^r(I)`` tower: deepening levels share prefix work."""
     if name == "chromatic":
-        return lambda task, r: iterated_chromatic_subdivision(task.input_complex, r)
+        return SubdivisionTower(task.input_complex, chromatic_subdivision)
     if name == "barycentric":
-        return lambda task, r: iterated_barycentric_subdivision(task.input_complex, r)
+        return SubdivisionTower(task.input_complex, barycentric_subdivision)
     raise ValueError(f"unknown subdivision engine {name!r}")
 
 
@@ -227,10 +229,10 @@ def _attach_witness(
     stats: Dict[str, float],
 ) -> None:
     """Iterative-deepening map search; mutates ``verdict`` on success."""
-    subdivide = _subdivision_engine(engine)
+    tower = _subdivision_tower(target_task, engine)
     search_stats = SearchStats()
     for r in range(max_rounds + 1):
-        sub = subdivide(target_task, r)
+        sub = tower.level(r)
         if engine == "barycentric" and chromatic_witness:
             raise ValueError("barycentric subdivisions cannot carry chromatic maps")
         try:

@@ -17,17 +17,25 @@ subdivision's vertices, the domain of a vertex ``v`` is the vertex set of
 ``Δ(carrier(facet))``.  Forward checking prunes neighbor domains through
 the facet constraints; variables are ordered by increasing carrier
 dimension, then minimum remaining values.
+
+Performance: the inner loops never build :class:`Simplex` objects.  Every
+codomain vertex gets a bit, every target complex is compiled to the set of
+bitmasks of its simplices (downward closure included), and domains become
+parallel ``(vertex, bit)`` arrays.  "Is this partial facet image a simplex
+of the target" is then a single integer-set membership test, and the
+support/completability lookaheads OR bits instead of allocating.  The
+compiled form is shared between support pruning and the backtracker.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
 
 from ..topology.carrier import CarrierMap
 from ..topology.complexes import SimplicialComplex
 from ..topology.maps import SimplicialMap
-from ..topology.simplex import Simplex, Vertex, color_of, vertex_sort_key
+from ..topology.simplex import Simplex, color_of, vertex_sort_key
 from ..topology.subdivision import SubdivisionResult
 
 
@@ -35,7 +43,7 @@ class SearchBudgetExceeded(RuntimeError):
     """Raised when the backtracking node budget is exhausted."""
 
 
-@dataclass
+@dataclass(slots=True)
 class SearchStats:
     """Counters exposed for the benchmarks and ablations."""
 
@@ -64,34 +72,53 @@ def _carrier_of_facet(sub: SubdivisionResult, facet: Simplex) -> Simplex:
     return Simplex(verts)
 
 
+def _target_masks(
+    target: SimplicialComplex, vbit: Dict[Hashable, int], memo: Dict[int, FrozenSet[int]]
+) -> FrozenSet[int]:
+    """The set of bitmasks of all simplices of ``target`` (memoized by identity)."""
+    key = id(target)
+    got = memo.get(key)
+    if got is None:
+        masks = set()
+        for s in target.simplices():
+            m = 0
+            for w in s.vertices:
+                m |= vbit[w]
+            masks.add(m)
+        got = frozenset(masks)
+        memo[key] = got
+    return got
+
+
 def _prune_domains_by_support(
     domains: Dict[Hashable, List[Hashable]],
     facets: List[Tuple[Simplex, SimplicialComplex]],
+    vbit: Dict[Hashable, int],
+    mask_memo: Dict[int, FrozenSet[int]],
 ) -> bool:
     """Arc-consistency-style pruning: a value survives only if every facet
     containing its vertex can be completed with it.  Iterates to fixpoint.
     Returns ``False`` when some domain empties (no map exists)."""
-    by_vertex: Dict[Hashable, List[Tuple[Simplex, SimplicialComplex]]] = {}
+    by_vertex: Dict[Hashable, List[Tuple[Simplex, FrozenSet[int]]]] = {}
     for facet, target in facets:
+        masks = _target_masks(target, vbit, mask_memo)
         for v in facet.vertices:
-            by_vertex.setdefault(v, []).append((facet, target))
+            by_vertex.setdefault(v, []).append((facet, masks))
 
-    def has_support(v: Hashable, a: Hashable, facet: Simplex, target) -> bool:
+    def has_support(v: Hashable, bit: int, facet: Simplex, masks: FrozenSet[int]) -> bool:
         others = [w for w in facet.vertices if w != v]
 
-        def extend(idx: int, chosen: List[Hashable]) -> bool:
+        def extend(idx: int, mask: int) -> bool:
             if idx == len(others):
-                return Simplex(chosen) in target
+                return mask in masks
             for b in domains[others[idx]]:
-                chosen.append(b)
+                m = mask | vbit[b]
                 # partial membership check prunes the inner loop early
-                if Simplex(chosen) in target and extend(idx + 1, chosen):
-                    chosen.pop()
+                if m in masks and extend(idx + 1, m):
                     return True
-                chosen.pop()
             return False
 
-        return extend(0, [a])
+        return extend(0, bit)
 
     changed = True
     while changed:
@@ -99,7 +126,8 @@ def _prune_domains_by_support(
         for v, constraints in by_vertex.items():
             kept = []
             for a in domains[v]:
-                if all(has_support(v, a, f, t) for f, t in constraints):
+                bit = vbit[a]
+                if all(has_support(v, bit, f, m) for f, m in constraints):
                     kept.append(a)
             if len(kept) != len(domains[v]):
                 domains[v] = kept
@@ -142,6 +170,11 @@ def _adjacency_order(
     return tuple(order)
 
 
+def _codomain_bits(codomain: SimplicialComplex) -> Dict[Hashable, int]:
+    """Assign one bit per codomain vertex, in canonical (deterministic) order."""
+    return {w: 1 << i for i, w in enumerate(codomain.vertices)}
+
+
 def prepare_problem(
     sub: SubdivisionResult,
     delta: CarrierMap,
@@ -170,7 +203,8 @@ def prepare_problem(
         (facet, delta(_carrier_of_facet(sub, facet))) for facet in sub.complex.facets
     ]
     if prune:
-        _prune_domains_by_support(domains, facets_with_targets)
+        vbit = _codomain_bits(delta.codomain)
+        _prune_domains_by_support(domains, facets_with_targets, vbit, {})
 
     facet_constraints: Dict[Hashable, List[Tuple[Simplex, SimplicialComplex]]] = {
         v: [] for v in sub.complex.vertices
@@ -199,57 +233,52 @@ def prepare_problem(
     )
 
 
-def _completable(
-    partial: List[Hashable],
-    unassigned: List[Hashable],
-    domains: Dict[Hashable, Tuple[Hashable, ...]],
-    target: SimplicialComplex,
-) -> bool:
-    """Whether a facet's partial image extends to a simplex of ``target``."""
-    if not unassigned:
-        return Simplex(partial) in target
-    head, rest = unassigned[0], unassigned[1:]
-    for b in domains[head]:
-        partial.append(b)
-        if Simplex(partial) in target and _completable(partial, rest, domains, target):
-            partial.pop()
-            return True
-        partial.pop()
-    return False
+class _CompiledSearch:
+    """The integer-indexed form of a :class:`MapSearchProblem`.
 
-
-def _consistent(
-    problem: MapSearchProblem,
-    assignment: Dict[Hashable, Hashable],
-    v: Hashable,
-    value: Hashable,
-    stats: SearchStats,
-) -> bool:
-    """Check facet constraints touching ``v``, with completion lookahead.
-
-    The partial image of every facet must be a simplex of its target, and
-    the facet must remain completable from the unassigned domains.
+    Variables become indices into parallel arrays (in search order), values
+    become codomain-vertex bits, and each facet constraint becomes the pair
+    ``(variable indices, set of target simplex masks)``.
     """
-    assignment[v] = value
-    try:
-        for facet, target in problem.facet_constraints[v]:
-            partial = []
-            unassigned = []
-            for w in facet.vertices:
-                if w in assignment:
-                    partial.append(assignment[w])
-                else:
-                    unassigned.append(w)
-            stats.propagations += 1
-            if Simplex(partial) not in target:
-                return False
-            if unassigned and not _completable(
-                partial, unassigned, problem.domains, target
-            ):
-                return False
-        return True
-    finally:
-        del assignment[v]
+
+    __slots__ = (
+        "order",
+        "dom_values",
+        "dom_bits",
+        "facet_vars",
+        "facet_masks",
+        "var_facets",
+    )
+
+    def __init__(self, problem: MapSearchProblem):
+        order = problem.variables
+        var_index = {v: i for i, v in enumerate(order)}
+        vbit = _codomain_bits(problem.delta.codomain)
+        self.order = order
+        self.dom_values: List[Tuple[Hashable, ...]] = [problem.domains[v] for v in order]
+        self.dom_bits: List[Tuple[int, ...]] = [
+            tuple(vbit[w] for w in problem.domains[v]) for v in order
+        ]
+        # deduplicate facets (each facet appears once per member vertex)
+        facet_vars: List[Tuple[int, ...]] = []
+        facet_masks: List[FrozenSet[int]] = []
+        var_facets: List[List[int]] = [[] for _ in order]
+        seen: Dict[Simplex, int] = {}
+        mask_memo: Dict[int, FrozenSet[int]] = {}
+        for v in order:
+            for facet, target in problem.facet_constraints[v]:
+                if facet in seen:
+                    continue
+                fid = len(facet_vars)
+                seen[facet] = fid
+                facet_vars.append(tuple(var_index[w] for w in facet.vertices))
+                facet_masks.append(_target_masks(target, vbit, mask_memo))
+        for fid, vs in enumerate(facet_vars):
+            for vi in vs:
+                var_facets[vi].append(fid)
+        self.facet_vars = facet_vars
+        self.facet_masks = facet_masks
+        self.var_facets: List[Tuple[int, ...]] = [tuple(fs) for fs in var_facets]
 
 
 def search_map(
@@ -266,12 +295,62 @@ def search_map(
     stats = stats if stats is not None else SearchStats()
     if any(not problem.domains[v] for v in problem.variables):
         return None
-    assignment: Dict[Hashable, Hashable] = {}
 
-    order = problem.variables
+    compiled = _CompiledSearch(problem)
+    order = compiled.order
+    n = len(order)
+    dom_values = compiled.dom_values
+    dom_bits = compiled.dom_bits
+    facet_vars = compiled.facet_vars
+    facet_masks = compiled.facet_masks
+    var_facets = compiled.var_facets
+    #: bit assigned to each variable; 0 == unassigned (bits are nonzero)
+    assigned: List[int] = [0] * n
+
+    def completable(mask: int, unassigned: List[int], masks: FrozenSet[int]) -> bool:
+        """Whether a facet's partial image mask extends within ``masks``."""
+        if len(unassigned) > 1:
+            unassigned.sort(key=lambda w: len(dom_bits[w]))
+
+        def extend(idx: int, m: int) -> bool:
+            if idx == len(unassigned):
+                return True
+            for b in dom_bits[unassigned[idx]]:
+                nm = m | b
+                if nm in masks and extend(idx + 1, nm):
+                    return True
+            return False
+
+        return extend(0, mask)
+
+    def consistent(vi: int, bit: int) -> bool:
+        """Check facet constraints touching ``vi``, with completion lookahead.
+
+        The partial image of every facet must be a simplex of its target,
+        and the facet must remain completable from the unassigned domains.
+        """
+        for fid in var_facets[vi]:
+            mask = bit
+            unassigned: Optional[List[int]] = None
+            for w in facet_vars[fid]:
+                b = assigned[w]
+                if b:
+                    mask |= b
+                elif w != vi:
+                    if unassigned is None:
+                        unassigned = [w]
+                    else:
+                        unassigned.append(w)
+            stats.propagations += 1
+            masks = facet_masks[fid]
+            if mask not in masks:
+                return False
+            if unassigned and not completable(mask, unassigned, masks):
+                return False
+        return True
 
     def backtrack(idx: int) -> bool:
-        if idx == len(order):
+        if idx == n:
             return True
         stats.nodes += 1
         if stats.nodes > max_nodes:
@@ -279,22 +358,26 @@ def search_map(
                 f"map search exceeded {max_nodes} nodes "
                 f"(subdivision facets: {len(problem.subdivision.complex.facets)})"
             )
-        v = order[idx]
-        for value in problem.domains[v]:
-            if _consistent(problem, assignment, v, value, stats):
-                assignment[v] = value
+        for bit in dom_bits[idx]:
+            if consistent(idx, bit):
+                assigned[idx] = bit
                 if backtrack(idx + 1):
                     return True
-                del assignment[v]
+                assigned[idx] = 0
                 stats.backtracks += 1
         return False
 
     if not backtrack(0):
         return None
+    # decode bits back to codomain vertices in the order values were tried
+    assignment: Dict[Hashable, Hashable] = {}
+    for idx, v in enumerate(order):
+        bit = assigned[idx]
+        assignment[v] = dom_values[idx][dom_bits[idx].index(bit)]
     return SimplicialMap(
         problem.subdivision.complex,
         problem.delta.codomain,
-        dict(assignment),
+        assignment,
         check=False,
     )
 

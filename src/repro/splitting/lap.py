@@ -15,7 +15,7 @@ from ..tasks.task import Task
 from ..topology.simplex import Simplex, Vertex
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LocalArticulationPoint:
     """A LAP: the vertex, the input facet it is local to, and its link components."""
 

@@ -4,6 +4,13 @@ Everything the task-solvability machinery rests on: simplices, chromatic
 complexes, carrier maps, simplicial maps, subdivisions, links and homology.
 """
 
+from .cache import (
+    cache_clear,
+    cache_info,
+    caching_disabled,
+    caching_enabled,
+    set_caching,
+)
 from .carrier import CarrierMap, CarrierMapError
 from .chromatic import (
     ChromaticComplex,
@@ -68,6 +75,7 @@ from .simplex import Simplex, Vertex, chrom, simplex, vertex_sort_key
 from .subdivision import (
     Barycenter,
     SubdivisionResult,
+    SubdivisionTower,
     barycentric_subdivision,
     chromatic_subdivision,
     chromatic_subdivision_of_simplex,
@@ -91,9 +99,15 @@ __all__ = [
     "SimplicialMap",
     "Simplex",
     "SubdivisionResult",
+    "SubdivisionTower",
     "Vertex",
     "articulation_vertices",
     "barycenter",
+    "cache_clear",
+    "cache_info",
+    "caching_disabled",
+    "caching_enabled",
+    "set_caching",
     "barycentric_subdivision",
     "boundary_complex",
     "betti_numbers",

@@ -4,6 +4,14 @@ A :class:`SimplicialComplex` is stored as the downward closure of a set of
 simplices.  Construction computes the closure and the facets (maximal
 simplices); after that the complex is immutable.  All iteration orders are
 deterministic (see :func:`repro.topology.simplex.vertex_sort_key`).
+
+Because instances are immutable, every structural query is memoized through
+:mod:`repro.topology.cache`: repeated links, stars, skeleta, 1-skeleton
+graphs and connectivity computations on the same complex are answered from
+a per-instance cache.  ``repro.topology.cache.cache_info()`` reports hit
+rates, ``cache_clear()`` invalidates everything, and the
+``caching_disabled()`` context manager bypasses the layer (benchmarks use
+it to measure the uncached baseline).
 """
 
 from __future__ import annotations
@@ -12,7 +20,13 @@ from typing import FrozenSet, Hashable, Iterable, Iterator, List, Optional, Tupl
 
 import networkx as nx
 
+from .cache import memoized_method
 from .simplex import Simplex, color_of, vertex_sort_key
+
+
+def _reconstruct_complex(cls, facets, name):
+    """Pickle helper: rebuild from facets (caches are not serialized)."""
+    return cls(facets, name=name)
 
 
 class SimplicialComplex:
@@ -27,7 +41,16 @@ class SimplicialComplex:
         Optional human-readable name, used in ``repr`` only.
     """
 
-    __slots__ = ("_simplices", "_facets", "_vertices", "_dim", "name", "_hash")
+    __slots__ = (
+        "_simplices",
+        "_facets",
+        "_vertices",
+        "_dim",
+        "name",
+        "_hash",
+        "_cache",
+        "__weakref__",
+    )
 
     def __init__(self, simplices: Iterable, name: Optional[str] = None):
         converted: List[Simplex] = []
@@ -50,6 +73,7 @@ class SimplicialComplex:
         self._dim: int = max((s.dim for s in self._facets), default=-1)
         self.name = name
         self._hash: Optional[int] = None
+        self._cache = None
 
     @staticmethod
     def _compute_facets(closure: set) -> List[Simplex]:
@@ -93,7 +117,7 @@ class SimplicialComplex:
     def __eq__(self, other) -> bool:
         if not isinstance(other, SimplicialComplex):
             return NotImplemented
-        return self._simplices == other._simplices
+        return self._simplices is other._simplices or self._simplices == other._simplices
 
     def __hash__(self) -> int:
         if self._hash is None:
@@ -103,6 +127,11 @@ class SimplicialComplex:
     def __repr__(self) -> str:
         label = self.name or type(self).__name__
         return f"{label}(dim={self.dim}, facets={len(self._facets)}, simplices={len(self)})"
+
+    def __reduce__(self):
+        # rebuild from facets on unpickle: caches stay process-local and the
+        # receiving process re-interns every simplex
+        return (_reconstruct_complex, (type(self), self._facets, self.name))
 
     # -- structure ------------------------------------------------------------
 
@@ -121,11 +150,13 @@ class SimplicialComplex:
         """All vertices, in canonical order."""
         return self._vertices
 
+    @memoized_method
     def simplices(self, dim: Optional[int] = None) -> Tuple[Simplex, ...]:
         """All simplices, optionally restricted to a single dimension."""
         pool = self._simplices if dim is None else (s for s in self._simplices if s.dim == dim)
         return tuple(sorted(pool, key=Simplex.sort_key))
 
+    @memoized_method
     def f_vector(self) -> Tuple[int, ...]:
         """``f_vector()[k]`` is the number of ``k``-dimensional simplices."""
         counts = [0] * (self.dim + 1)
@@ -137,14 +168,17 @@ class SimplicialComplex:
         """The Euler characteristic ``sum_k (-1)^k f_k``."""
         return sum((-1) ** k * f for k, f in enumerate(self.f_vector()))
 
+    @memoized_method
     def is_pure(self) -> bool:
         """True iff all facets share the top dimension."""
         return all(f.dim == self.dim for f in self._facets)
 
+    @memoized_method
     def is_chromatic(self) -> bool:
         """True iff every simplex has colored vertices with distinct colors."""
         return all(f.is_chromatic() for f in self._facets)
 
+    @memoized_method
     def colors(self) -> FrozenSet[int]:
         """All colors appearing in the complex (colorless vertices ignored)."""
         cols = set()
@@ -156,6 +190,7 @@ class SimplicialComplex:
 
     # -- subcomplexes -----------------------------------------------------------
 
+    @memoized_method
     def skeleton(self, k: int) -> "SimplicialComplex":
         """The ``k``-skeleton: all simplices of dimension at most ``k``."""
         return SimplicialComplex(
@@ -163,10 +198,12 @@ class SimplicialComplex:
             name=f"Skel^{k}({self.name})" if self.name else None,
         )
 
+    @memoized_method
     def star(self, v: Hashable) -> "SimplicialComplex":
         """The closed star of ``v``: all simplices containing ``v``, closed down."""
         return SimplicialComplex(s for s in self._simplices if v in s)
 
+    @memoized_method
     def link(self, v: Hashable) -> "SimplicialComplex":
         """The link of ``v``: ``{ s : v not in s and s + v in K }``."""
         out = []
@@ -204,24 +241,35 @@ class SimplicialComplex:
 
     # -- connectivity -------------------------------------------------------------
 
-    def graph(self) -> "nx.Graph":
-        """The 1-skeleton as a :mod:`networkx` graph (isolated vertices included)."""
+    @memoized_method
+    def _graph(self) -> "nx.Graph":
         g = nx.Graph()
         g.add_nodes_from(self._vertices)
-        for e in self.simplices(dim=1):
+        for e in self.simplices(1):
             a, b = e.sorted_vertices()
             g.add_edge(a, b)
         return g
 
+    def graph(self) -> "nx.Graph":
+        """The 1-skeleton as a :mod:`networkx` graph (isolated vertices included).
+
+        The returned graph is a fresh copy, safe for callers to mutate; the
+        internal cached graph backs :meth:`is_connected` and
+        :meth:`connected_components`.
+        """
+        return self._graph().copy()
+
+    @memoized_method
     def is_connected(self) -> bool:
         """Graph connectivity of the 1-skeleton (empty complex counts as connected)."""
         if not self._vertices:
             return True
-        return nx.is_connected(self.graph())
+        return nx.is_connected(self._graph())
 
+    @memoized_method
     def connected_components(self) -> Tuple[FrozenSet[Hashable], ...]:
         """Vertex sets of the connected components, in deterministic order."""
-        comps = [frozenset(c) for c in nx.connected_components(self.graph())]
+        comps = [frozenset(c) for c in nx.connected_components(self._graph())]
         comps.sort(key=lambda c: min(vertex_sort_key(v) for v in c))
         return tuple(comps)
 
@@ -232,6 +280,7 @@ class SimplicialComplex:
                 return comp
         raise KeyError(f"{v!r} is not a vertex of {self!r}")
 
+    @memoized_method
     def is_link_connected(self) -> bool:
         """True iff the link of every vertex is a connected complex.
 

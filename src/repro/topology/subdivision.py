@@ -21,7 +21,7 @@ subdivision of ``τ``), which is exactly the data needed to express
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Tuple
 
 from .carrier import CarrierMap
@@ -60,7 +60,7 @@ def ordered_partitions(items: Iterable[Hashable]) -> Iterator[Tuple[FrozenSet, .
     yield from rec(pool)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Barycenter:
     """A barycentric-subdivision vertex: the barycenter of a base simplex."""
 
@@ -70,13 +70,17 @@ class Barycenter:
         return f"b{self.simplex!r}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SubdivisionResult:
     """A subdivision together with its carrier map from the base complex."""
 
     base: SimplicialComplex
     complex: SimplicialComplex
     carrier: CarrierMap
+    #: per-instance memo for :meth:`carrier_of_vertex` (identity-neutral)
+    _vcache: Dict[Hashable, Simplex] = field(
+        default_factory=dict, compare=False, repr=False
+    )
 
     def carrier_of_vertex(self, v: Hashable) -> Simplex:
         """The minimal base simplex whose subdivision contains vertex ``v``.
@@ -84,8 +88,12 @@ class SubdivisionResult:
         Iterated subdivisions nest (a ``Ch²`` view is a simplex of ``Ch¹``),
         so resolution recurses until it reaches vertices of the base
         complex.  For the identity subdivision the carrier is the vertex
-        itself.
+        itself.  Results are memoized per instance — the map search resolves
+        every subdivision vertex many times.
         """
+        cached = self._vcache.get(v)
+        if cached is not None:
+            return cached
         base_vertices = frozenset(self.base.vertices)
 
         def resolve(u: Hashable) -> frozenset:
@@ -102,7 +110,9 @@ class SubdivisionResult:
                 out |= resolve(w)
             return out
 
-        return Simplex(resolve(v))
+        result = Simplex(resolve(v))
+        self._vcache[v] = result
+        return result
 
 
 # ---------------------------------------------------------------------------
@@ -153,25 +163,11 @@ def chromatic_subdivision(k: SimplicialComplex) -> SubdivisionResult:
 def iterated_chromatic_subdivision(k: SimplicialComplex, rounds: int) -> SubdivisionResult:
     """``Ch^r(K)`` with the composed carrier map ``K → Ch^r(K)``.
 
-    ``rounds = 0`` returns ``K`` with the identity carrier.
+    ``rounds = 0`` returns ``K`` with the identity carrier.  Callers that
+    need several consecutive depths (iterative deepening) should use a
+    :class:`SubdivisionTower`, which shares the work of the lower levels.
     """
-    if rounds < 0:
-        raise ValueError("rounds must be non-negative")
-    current = SubdivisionResult(
-        base=k,
-        complex=k,
-        carrier=CarrierMap(
-            k, k, {s: SimplicialComplex([s]) for s in k.simplices()}, check=False
-        ),
-    )
-    for _ in range(rounds):
-        step = chromatic_subdivision(current.complex)
-        current = SubdivisionResult(
-            base=k,
-            complex=step.complex,
-            carrier=current.carrier.compose(step.carrier),
-        )
-    return current
+    return SubdivisionTower(k, chromatic_subdivision).level(rounds)
 
 
 # ---------------------------------------------------------------------------
@@ -216,20 +212,68 @@ def barycentric_subdivision(k: SimplicialComplex) -> SubdivisionResult:
 
 def iterated_barycentric_subdivision(k: SimplicialComplex, rounds: int) -> SubdivisionResult:
     """``Bary^r(K)`` with the composed carrier map."""
-    if rounds < 0:
-        raise ValueError("rounds must be non-negative")
-    current = SubdivisionResult(
-        base=k,
-        complex=k,
-        carrier=CarrierMap(
-            k, k, {s: SimplicialComplex([s]) for s in k.simplices()}, check=False
-        ),
-    )
-    for _ in range(rounds):
-        step = barycentric_subdivision(current.complex)
-        current = SubdivisionResult(
-            base=k,
-            complex=step.complex,
-            carrier=current.carrier.compose(step.carrier),
+    return SubdivisionTower(k, barycentric_subdivision).level(rounds)
+
+
+# ---------------------------------------------------------------------------
+# Incremental towers of subdivisions
+# ---------------------------------------------------------------------------
+
+
+class SubdivisionTower:
+    """Lazily computed tower ``K, Sd(K), Sd²(K), …`` with composed carriers.
+
+    Iterative-deepening callers (the decision procedure, benchmarks) ask for
+    levels ``0, 1, 2, …`` in turn; recomputing each level from scratch
+    repeats all the lower subdivision and carrier-composition work.  A tower
+    computes each level exactly once — ``level(r)`` extends incrementally
+    from the deepest level built so far and returns cached
+    :class:`SubdivisionResult` objects thereafter (so their per-vertex
+    carrier memos are shared too).
+
+    ``step`` is a one-round subdivision function such as
+    :func:`chromatic_subdivision` or :func:`barycentric_subdivision`.
+    """
+
+    __slots__ = ("base", "step", "_levels")
+
+    def __init__(self, base: SimplicialComplex, step) -> None:
+        self.base = base
+        self.step = step
+        identity = SubdivisionResult(
+            base=base,
+            complex=base,
+            carrier=CarrierMap(
+                base,
+                base,
+                {s: SimplicialComplex([s]) for s in base.simplices()},
+                check=False,
+            ),
         )
-    return current
+        self._levels: List[SubdivisionResult] = [identity]
+
+    @property
+    def depth(self) -> int:
+        """The deepest level built so far."""
+        return len(self._levels) - 1
+
+    def level(self, r: int) -> SubdivisionResult:
+        """``Sd^r(K)`` with the composed carrier ``K → Sd^r(K)``."""
+        if r < 0:
+            raise ValueError("rounds must be non-negative")
+        while len(self._levels) <= r:
+            prev = self._levels[-1]
+            step = self.step(prev.complex)
+            self._levels.append(
+                SubdivisionResult(
+                    base=self.base,
+                    complex=step.complex,
+                    carrier=prev.carrier.compose(step.carrier),
+                )
+            )
+        return self._levels[r]
+
+    def levels(self, up_to: int) -> Iterator[SubdivisionResult]:
+        """Yield levels ``0 … up_to`` in order (building lazily)."""
+        for r in range(up_to + 1):
+            yield self.level(r)

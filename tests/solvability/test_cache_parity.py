@@ -1,0 +1,64 @@
+"""The decision procedure must be bit-identical with caching on and off.
+
+Interned simplices, memoized complex queries and the subdivision tower are
+pure performance machinery; if any of them changed a verdict, a witness
+depth, an obstruction kind or a split count, the caching layer would be
+*wrong*, not just stale.  This suite decides representative zoo tasks both
+ways and compares everything observable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import decide_solvability
+from repro.tasks.zoo import (
+    hourglass_task,
+    identity_task,
+    majority_consensus_task,
+    path_task,
+    pinwheel_task,
+    two_process_fork_task,
+)
+from repro.topology import cache_clear, caching_disabled
+
+ZOO = [
+    ("majority", majority_consensus_task, 1),
+    ("hourglass", hourglass_task, 1),
+    ("pinwheel", pinwheel_task, 1),
+    ("identity3", lambda: identity_task(3), 1),
+    ("path3", lambda: path_task(3), 2),
+    ("fork-2p", two_process_fork_task, 1),
+]
+
+
+def _fingerprint(verdict):
+    """Everything observable about a verdict, minus wall-clock noise."""
+    return {
+        "status": verdict.status,
+        "witness_rounds": verdict.witness_rounds,
+        "witness_chromatic": verdict.witness_chromatic,
+        "witness_values": (
+            None
+            if verdict.witness_map is None
+            else tuple(
+                (v, verdict.witness_map(v)) for v in verdict.witness_map.domain.vertices
+            )
+        ),
+        "obstruction_kind": (
+            None if verdict.obstruction is None else verdict.obstruction.kind
+        ),
+        "n_splits": verdict.stats.get("n_splits"),
+        "search_nodes": verdict.stats.get("search_nodes"),
+        "search_backtracks": verdict.stats.get("search_backtracks"),
+    }
+
+
+@pytest.mark.parametrize("name,make,rounds", ZOO, ids=[z[0] for z in ZOO])
+def test_verdict_parity_caching_on_off(name, make, rounds):
+    cache_clear()
+    with caching_disabled():
+        baseline = _fingerprint(decide_solvability(make(), max_rounds=rounds))
+    cache_clear()
+    cached = _fingerprint(decide_solvability(make(), max_rounds=rounds))
+    assert cached == baseline

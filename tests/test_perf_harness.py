@@ -1,0 +1,109 @@
+"""The perf harness: measurement bookkeeping and the report JSON schema.
+
+``benchmarks/BENCH_perf_core.json`` is consumed by later PRs to track the
+perf trajectory, so its format is pinned here (fast, tier-1) independently
+of the tier-2 benches that produce the real numbers.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf import (
+    SCHEMA,
+    Measurement,
+    PerfHarness,
+    cache_counters,
+    machine_info,
+    validate_report,
+)
+from repro.topology import cache_clear
+
+
+def _tiny_harness() -> PerfHarness:
+    h = PerfHarness("unit")
+    h.measure("warm", sum, range(100), repeat=3, meta={"kind": "demo"})
+    h.measure("cold", sum, range(1000), counters={"items": 1000.0})
+    return h
+
+
+def test_measure_returns_result_and_measurement():
+    h = PerfHarness("unit")
+    result, m = h.measure("sum", sum, range(10), repeat=2)
+    assert result == 45
+    assert m.repeats == 2 and len(m.seconds_each) == 2
+    assert m.best <= m.mean
+    assert h["sum"] is m
+    with pytest.raises(KeyError):
+        h["nope"]
+    with pytest.raises(ValueError):
+        h.measure("bad", sum, range(1), repeat=0)
+
+
+def test_speedup_ratio_and_derived_entry():
+    h = PerfHarness("unit")
+    h.measurements.append(Measurement("slow", [2.0]))
+    h.measurements.append(Measurement("fast", [0.5]))
+    assert h.speedup("slow", "fast") == pytest.approx(4.0)
+    assert h.to_report()["derived"]["speedup:fast/slow"] == pytest.approx(4.0)
+
+
+def test_report_passes_schema_and_roundtrips(tmp_path):
+    h = _tiny_harness()
+    payload = h.write(str(tmp_path / "out.json"))
+    assert validate_report(payload) == []
+    assert payload["schema"] == SCHEMA
+    on_disk = json.loads((tmp_path / "out.json").read_text())
+    assert validate_report(on_disk) == []
+    assert [r["name"] for r in on_disk["results"]] == ["warm", "cold"]
+    assert on_disk["results"][1]["counters"] == {"items": 1000.0}
+
+
+def test_validate_report_catches_malformed_payloads():
+    assert validate_report(None) != []
+    assert validate_report({}) != []
+    good = _tiny_harness().to_report()
+    assert validate_report(good) == []
+
+    for mutate in (
+        lambda p: p.update(schema="wrong/0"),
+        lambda p: p.update(results=[]),
+        lambda p: p["results"][0].update(seconds_each=[]),
+        lambda p: p["results"][0].update(seconds_each=[-1.0]),
+        lambda p: p["results"][0].update(repeats=99),
+        lambda p: p["results"][0].update(best_seconds=123.0),
+        lambda p: p["results"][0].update(counters={"x": "NaN-ish"}),
+        lambda p: p["machine"].update(cpu_count="many"),
+        lambda p: p.update(derived={"s": "fast"}),
+    ):
+        payload = json.loads(json.dumps(good))
+        mutate(payload)
+        assert validate_report(payload) != [], mutate
+
+
+def test_write_refuses_invalid_report(tmp_path):
+    h = PerfHarness("unit")  # no measurements -> empty results
+    with pytest.raises(ValueError):
+        h.write(str(tmp_path / "bad.json"))
+
+
+def test_machine_info_fields():
+    info = machine_info()
+    assert isinstance(info["cpu_count"], int) and info["cpu_count"] >= 1
+    assert isinstance(info["python"], str)
+
+
+def test_cache_counters_flatten():
+    from repro.topology.complexes import SimplicialComplex
+
+    cache_clear()
+    k = SimplicialComplex([("a", "b", "c")])
+    k.f_vector()
+    k.f_vector()
+    flat = cache_counters()
+    assert flat["cache.SimplicialComplex.f_vector.hits"] == 1.0
+    assert flat["cache.SimplicialComplex.f_vector.misses"] == 1.0
+    assert all(isinstance(v, float) for v in flat.values())
+    cache_clear()
