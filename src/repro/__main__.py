@@ -13,6 +13,9 @@ Commands
     on the shared-memory simulator.
 ``census``
     Decide a population of random tasks and print the certificate counts.
+``check``
+    Statically verify task invariants (stable ``RCxxx`` diagnostics, with
+    witnesses), or lint the library sources themselves (``--self``).
 """
 
 from __future__ import annotations
@@ -29,6 +32,8 @@ from .analysis import (
     run_census,
     sparse_census,
 )
+from .check.cli import add_check_parser
+from .check.preflight import PreflightError, preflight_check
 from .io import load_task, save_task, task_to_json
 from .runtime import synthesize_protocol, validate_protocol
 from .solvability import Status
@@ -85,6 +90,11 @@ def cmd_list(_args) -> int:
 
 def cmd_analyze(args) -> int:
     task = _resolve_task(args.task)
+    if args.validate:
+        try:
+            preflight_check(task)
+        except PreflightError as exc:
+            raise SystemExit(str(exc)) from exc
     report = analyze_task(task, max_rounds=args.max_rounds)
     print(report)
     if args.dot:
@@ -135,14 +145,24 @@ def cmd_synthesize(args) -> int:
 
 
 def cmd_census(args) -> int:
+    if args.seeds < 0:
+        raise SystemExit(f"--seeds must be non-negative, got {args.seeds}")
     if args.chunksize < 1:
-        raise SystemExit("--chunksize must be at least 1")
+        raise SystemExit(
+            f"--chunksize must be at least 1 (got {args.chunksize}); it is the "
+            "number of seeds dispatched per work item"
+        )
+    if args.workers is not None and args.workers < 1:
+        raise SystemExit(
+            f"--workers must be at least 1 (got {args.workers}); omit the flag "
+            "to use one process per CPU"
+        )
     if args.workers is not None and args.workers != 1:
         runner = parallel_sparse_census if args.sparse else parallel_census
         census = runner(
             range(args.seeds),
             max_rounds=args.max_rounds,
-            workers=args.workers or None,
+            workers=args.workers,
             chunksize=args.chunksize,
         )
     else:
@@ -172,6 +192,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("analyze", help="run the characterization on a task")
     p.add_argument("task", help="zoo name or task JSON file")
     p.add_argument("--max-rounds", type=int, default=2)
+    p.add_argument(
+        "--validate",
+        action="store_true",
+        help="run the repro.check structural passes before analyzing",
+    )
     p.add_argument("--dot", metavar="PREFIX", help="export DOT drawings")
     p.add_argument("--json", metavar="FILE", help="write a JSON summary")
     p.add_argument("--save-split", metavar="FILE", help="save the split task")
@@ -193,10 +218,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=None,
-        help="process count for the parallel engine (0 = cpu count; default serial)",
+        help="process count for the parallel engine, at least 1 "
+        "(omit for one process per CPU; default serial)",
     )
-    p.add_argument("--chunksize", type=int, default=8, help="seeds per work item")
+    p.add_argument(
+        "--chunksize", type=int, default=8, help="seeds per work item (at least 1)"
+    )
     p.set_defaults(fn=cmd_census)
+
+    add_check_parser(sub)
 
     return parser
 

@@ -65,10 +65,11 @@ def parallel_census(
     max_rounds:
         Iterative-deepening budget passed through to ``decide_solvability``.
     workers:
-        Process count; defaults to :func:`default_workers`.  ``workers <= 1``
-        runs serially in-process (the degenerate case — no pool is spawned).
+        Process count; defaults to :func:`default_workers`.  Must be at
+        least 1 when given; ``workers == 1`` runs serially in-process (the
+        degenerate case — no pool is spawned).
     chunksize:
-        Seeds per dispatched work item.
+        Seeds per dispatched work item; must be at least 1.
     start_method:
         ``multiprocessing`` start method (``"fork"``, ``"spawn"``, …);
         ``None`` uses the platform default.
@@ -78,7 +79,12 @@ def parallel_census(
     """
     seed_list = list(seeds)
     if chunksize < 1:
-        raise ValueError("chunksize must be at least 1")
+        raise ValueError(f"chunksize must be at least 1, got {chunksize}")
+    if workers is not None and workers < 1:
+        raise ValueError(
+            f"workers must be at least 1, got {workers} "
+            "(pass None to use one process per CPU)"
+        )
     n_workers = default_workers() if workers is None else workers
     if n_workers <= 1 or len(seed_list) <= 1:
         return run_census(seed_list, generator=generator, max_rounds=max_rounds)

@@ -1,0 +1,66 @@
+"""``repro.check`` — a pass-based static verifier for tasks and the repo.
+
+The solvability pipeline (canonical form → LAP elimination → carried-map
+search; Theorems 3.1/4.3/5.1) is only sound on inputs satisfying structural
+invariants: proper chromatic coloring, monotone name-preserving carrier
+maps, total rigid deltas, genuinely link-connected outputs.  This package
+verifies those invariants *statically*, before any decision procedure runs,
+and additionally lints the library's own sources for the hazards the fast
+topology core introduced (interned-object mutation, cache-internal access,
+nondeterministic task generation).
+
+Two levels:
+
+* **Level 1 — domain passes** (:mod:`repro.check.domain`): a pass manager
+  over :class:`~repro.tasks.task.Task`,
+  :class:`~repro.topology.complexes.SimplicialComplex` and
+  :class:`~repro.topology.carrier.CarrierMap` objects.  Every finding is a
+  :class:`~repro.check.diagnostics.Diagnostic` with a stable ``RCxxx`` code
+  and a concrete witness (the offending simplex, vertex or link component).
+* **Level 2 — code passes** (:mod:`repro.check.astlint`): a stdlib-``ast``
+  lint over ``src/repro`` enforcing repo-specific rules, plus gated runners
+  for ``mypy --strict`` and ``ruff`` (:mod:`repro.check.tooling`).
+
+Entry points: ``python -m repro check`` (text/JSON/SARIF output; see
+:mod:`repro.check.cli`) and the ``validate=`` pre-flight hook of
+:func:`repro.solvability.decision.decide_solvability` (see
+:func:`preflight_check`).  ``docs/static_analysis.md`` catalogues every
+diagnostic code.
+"""
+
+from .astlint import LINT_RULES, lint_paths, lint_source
+from .diagnostics import CODES, CodeInfo, Diagnostic, Severity, describe_code
+from .domain import (
+    DOMAIN_PASSES,
+    check_carrier_map,
+    check_complex,
+    check_task,
+    run_domain_checks,
+)
+from .passes import CheckResult, DomainPass, iter_passes
+from .preflight import PreflightError, preflight_check
+from .tooling import ToolReport, run_mypy, run_ruff
+
+__all__ = [
+    "CODES",
+    "CheckResult",
+    "CodeInfo",
+    "DOMAIN_PASSES",
+    "Diagnostic",
+    "DomainPass",
+    "LINT_RULES",
+    "PreflightError",
+    "Severity",
+    "ToolReport",
+    "check_carrier_map",
+    "check_complex",
+    "check_task",
+    "describe_code",
+    "iter_passes",
+    "lint_paths",
+    "lint_source",
+    "preflight_check",
+    "run_domain_checks",
+    "run_mypy",
+    "run_ruff",
+]

@@ -1,0 +1,466 @@
+"""Level-1 domain passes over tasks, complexes and carrier maps.
+
+Each pass verifies one invariant the solvability pipeline assumes, and
+every finding carries a concrete witness: the offending simplex, the
+face/coface pair breaking monotonicity, the vertex whose link falls apart
+(with its components), and so on.  Passes never mutate their subject and
+never raise on malformed input — *reporting* malformedness is their job.
+
+The default ``structure`` stage is sound for any task; the ``canonical``
+and ``link`` stages assert invariants that only hold after the Section 3
+and Section 4 transforms and are therefore opt-in (the CLI's ``--deep``
+mode runs them on the transformed task).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Union
+
+from ..splitting.lap import iter_local_articulation_points
+from ..tasks.canonical import vertex_preimages
+from ..tasks.task import Task
+from ..topology.carrier import CarrierMap
+from ..topology.complexes import SimplicialComplex
+from ..topology.simplex import Simplex
+from .diagnostics import Diagnostic
+from .passes import CheckResult, DomainPass, iter_passes
+
+Subject = Union[Task, SimplicialComplex, CarrierMap]
+
+#: How many findings a single pass reports per subject before truncating.
+MAX_FINDINGS_PER_PASS = 25
+
+
+def _subject_name(subject: Subject, name: Optional[str]) -> str:
+    if name:
+        return name
+    explicit = getattr(subject, "name", None)
+    if isinstance(explicit, str) and explicit:
+        return explicit
+    return type(subject).__name__
+
+
+def _capped(diags: Iterator[Diagnostic]) -> Iterator[Diagnostic]:
+    for i, d in enumerate(diags):
+        if i >= MAX_FINDINGS_PER_PASS:
+            break
+        yield d
+
+
+# -- shared carrier-map rules (used by both Task and CarrierMap passes) ----
+
+
+def _iter_improper_coloring(
+    complexes: Sequence[SimplicialComplex], labels: Sequence[str], where: str
+) -> Iterator[Diagnostic]:
+    for cx, label in zip(complexes, labels):
+        for facet in cx.facets:
+            if not facet.is_chromatic():
+                yield Diagnostic(
+                    code="RC101",
+                    message=f"{label} facet is not properly colored",
+                    subject=where,
+                    witness=repr(facet),
+                )
+
+
+def _iter_not_monotone(delta: CarrierMap, where: str) -> Iterator[Diagnostic]:
+    for s in delta.domain.simplices():
+        if s.dim == 0:
+            continue
+        img = delta(s)
+        for face in s.boundary():
+            if not delta(face).is_subcomplex_of(img):
+                yield Diagnostic(
+                    code="RC102",
+                    message="Δ is not monotone: Δ(face) ⊄ Δ(simplex)",
+                    subject=where,
+                    witness=f"face={face!r} simplex={s!r}",
+                )
+
+
+def _iter_name_not_preserved(delta: CarrierMap, where: str) -> Iterator[Diagnostic]:
+    for s, img in delta.items():
+        try:
+            want = s.colors()
+        except ValueError:
+            continue  # RC101 already covers colorless domain simplices
+        for f in img.facets:
+            try:
+                got = f.colors()
+            except ValueError:
+                yield Diagnostic(
+                    code="RC103",
+                    message="image facet has a colorless vertex",
+                    subject=where,
+                    witness=f"Δ({s!r}) ∋ {f!r}",
+                )
+                continue
+            if got != want:
+                yield Diagnostic(
+                    code="RC103",
+                    message=(
+                        "image facet carries colors "
+                        f"{sorted(got)} but the input simplex carries {sorted(want)}"
+                    ),
+                    subject=where,
+                    witness=f"Δ({s!r}) ∋ {f!r}",
+                )
+
+
+def _iter_image_outside_codomain(delta: CarrierMap, where: str) -> Iterator[Diagnostic]:
+    for s, img in delta.items():
+        for f in img.facets:
+            if f not in delta.codomain:
+                yield Diagnostic(
+                    code="RC106",
+                    message="image contains a simplex absent from the codomain",
+                    subject=where,
+                    witness=f"Δ({s!r}) ∋ {f!r}",
+                )
+
+
+def _iter_not_rigid(delta: CarrierMap, where: str) -> Iterator[Diagnostic]:
+    for s, img in delta.items():
+        if not img:
+            continue  # RC301's concern
+        if img.dim != s.dim:
+            yield Diagnostic(
+                code="RC107",
+                message=f"image has dimension {img.dim}, expected {s.dim}",
+                subject=where,
+                witness=f"Δ({s!r})",
+            )
+        elif not img.is_pure():
+            low = min((f for f in img.facets), key=Simplex.sort_key)
+            yield Diagnostic(
+                code="RC107",
+                message="image is not pure",
+                subject=where,
+                witness=f"Δ({s!r}) has facet {low!r} of dimension {low.dim}",
+            )
+
+
+def _iter_not_total(delta: CarrierMap, where: str) -> Iterator[Diagnostic]:
+    for s, img in delta.items():
+        if not img:
+            yield Diagnostic(
+                code="RC301",
+                message="Δ is not total: input simplex has an empty image",
+                subject=where,
+                witness=repr(s),
+            )
+
+
+# -- Task passes -----------------------------------------------------------
+
+
+def _pass_improper_coloring(subject: object, where: str) -> Iterator[Diagnostic]:
+    task = subject
+    assert isinstance(task, Task)
+    yield from _iter_improper_coloring(
+        (task.input_complex, task.output_complex),
+        ("input complex", "output complex"),
+        where,
+    )
+
+
+def _pass_not_monotone(subject: object, where: str) -> Iterator[Diagnostic]:
+    assert isinstance(subject, Task)
+    yield from _iter_not_monotone(subject.delta, where)
+
+
+def _pass_name_not_preserved(subject: object, where: str) -> Iterator[Diagnostic]:
+    assert isinstance(subject, Task)
+    yield from _iter_name_not_preserved(subject.delta, where)
+
+
+def _pass_dimensions(subject: object, where: str) -> Iterator[Diagnostic]:
+    task = subject
+    assert isinstance(task, Task)
+    in_dim = task.input_complex.dim
+    out_dim = task.output_complex.dim
+    if in_dim != out_dim:
+        yield Diagnostic(
+            code="RC104",
+            message=f"input dimension {in_dim} ≠ output dimension {out_dim}",
+            subject=where,
+            witness=f"dim(I)={in_dim}, dim(O)={out_dim}",
+        )
+
+
+def _pass_purity(subject: object, where: str) -> Iterator[Diagnostic]:
+    task = subject
+    assert isinstance(task, Task)
+    cx = task.input_complex
+    if not cx.is_pure():
+        for facet in cx.facets:
+            if facet.dim < cx.dim:
+                yield Diagnostic(
+                    code="RC105",
+                    message=(
+                        f"input complex of dimension {cx.dim} has a facet of "
+                        f"dimension {facet.dim}"
+                    ),
+                    subject=where,
+                    witness=repr(facet),
+                )
+
+
+def _pass_image_outside_codomain(subject: object, where: str) -> Iterator[Diagnostic]:
+    assert isinstance(subject, Task)
+    yield from _iter_image_outside_codomain(subject.delta, where)
+
+
+def _pass_not_rigid(subject: object, where: str) -> Iterator[Diagnostic]:
+    assert isinstance(subject, Task)
+    yield from _iter_not_rigid(subject.delta, where)
+
+
+def _pass_not_total(subject: object, where: str) -> Iterator[Diagnostic]:
+    assert isinstance(subject, Task)
+    yield from _iter_not_total(subject.delta, where)
+
+
+def _pass_output_unreachable(subject: object, where: str) -> Iterator[Diagnostic]:
+    task = subject
+    assert isinstance(task, Task)
+    reachable = task.delta.image()
+    for facet in task.output_complex.facets:
+        if facet not in reachable:
+            yield Diagnostic(
+                code="RC302",
+                message="output facet is unreachable by Δ (O ≠ ∪ Δ(σ))",
+                subject=where,
+                witness=repr(facet),
+                severity="warning",
+            )
+
+
+def _pass_not_canonical(subject: object, where: str) -> Iterator[Diagnostic]:
+    task = subject
+    assert isinstance(task, Task)
+    for w in task.reachable_outputs().vertices:
+        pre = vertex_preimages(task, w)
+        if len(pre) != 1:
+            yield Diagnostic(
+                code="RC201",
+                message=(
+                    f"output vertex has {len(pre)} input-vertex preimages "
+                    "(canonical form requires exactly one, Claim 1)"
+                ),
+                subject=where,
+                witness=f"{w!r} ← {list(pre)!r}",
+            )
+    facets = task.input_complex.facets
+    for i, s1 in enumerate(facets):
+        img1 = set(task.delta(s1).facets)
+        for s2 in facets[i + 1 :]:
+            shared = img1 & set(task.delta(s2).facets)
+            if shared:
+                f = min(shared, key=Simplex.sort_key)
+                yield Diagnostic(
+                    code="RC201",
+                    message="two input facets share an image facet",
+                    subject=where,
+                    witness=f"Δ({s1!r}) ∩ Δ({s2!r}) ∋ {f!r}",
+                )
+
+
+def _pass_residual_lap(subject: object, where: str) -> Iterator[Diagnostic]:
+    task = subject
+    assert isinstance(task, Task)
+    if task.input_complex.dim != 2:
+        return  # LAPs are a three-process notion (Section 4)
+    for lap in iter_local_articulation_points(task):
+        comps = " | ".join(
+            "{" + ", ".join(repr(v) for v in sorted(c, key=repr)) + "}"
+            for c in lap.components
+        )
+        yield Diagnostic(
+            code="RC202",
+            message=(
+                f"local articulation point: link splits into "
+                f"{lap.n_components} components inside Δ(σ)"
+            ),
+            subject=where,
+            witness=f"{lap.vertex!r} w.r.t. σ={lap.facet!r}; components {comps}",
+        )
+
+
+# -- SimplicialComplex passes ----------------------------------------------
+
+
+def _pass_link_disconnected(subject: object, where: str) -> Iterator[Diagnostic]:
+    cx = subject
+    assert isinstance(cx, SimplicialComplex)
+    for v in cx.vertices:
+        comps = cx.link_components(v)
+        if len(comps) >= 2:
+            rendered = " | ".join(
+                "{" + ", ".join(repr(u) for u in sorted(c, key=repr)) + "}"
+                for c in comps
+            )
+            yield Diagnostic(
+                code="RC203",
+                message=f"vertex link has {len(comps)} connected components",
+                subject=where,
+                witness=f"{v!r}; components {rendered}",
+            )
+
+
+def _pass_complex_improper_coloring(subject: object, where: str) -> Iterator[Diagnostic]:
+    cx = subject
+    assert isinstance(cx, SimplicialComplex)
+    yield from _iter_improper_coloring((cx,), ("complex",), where)
+
+
+# -- CarrierMap passes ------------------------------------------------------
+
+
+def _carrier_pass(rule):  # type: ignore[no-untyped-def]
+    def run(subject: object, where: str) -> Iterator[Diagnostic]:
+        assert isinstance(subject, CarrierMap)
+        yield from rule(subject, where)
+
+    return run
+
+
+#: The full pass registry, in execution order.
+DOMAIN_PASSES: List[DomainPass] = [
+    # Task / structure
+    DomainPass("improper-coloring", ("RC101",), "structure", "task", _pass_improper_coloring),
+    DomainPass("carrier-not-monotone", ("RC102",), "structure", "task", _pass_not_monotone),
+    DomainPass("name-not-preserved", ("RC103",), "structure", "task", _pass_name_not_preserved),
+    DomainPass("dimension-mismatch", ("RC104",), "structure", "task", _pass_dimensions),
+    DomainPass("impure-complex", ("RC105",), "structure", "task", _pass_purity),
+    DomainPass(
+        "image-outside-codomain", ("RC106",), "structure", "task", _pass_image_outside_codomain
+    ),
+    DomainPass("delta-not-rigid", ("RC107",), "structure", "task", _pass_not_rigid),
+    DomainPass("delta-not-total", ("RC301",), "structure", "task", _pass_not_total),
+    DomainPass("output-unreachable", ("RC302",), "structure", "task", _pass_output_unreachable),
+    # Task / pipeline stages
+    DomainPass("not-canonical-form", ("RC201",), "canonical", "task", _pass_not_canonical),
+    DomainPass("residual-LAP", ("RC202",), "link", "task", _pass_residual_lap),
+    # Complex subjects
+    DomainPass(
+        "complex-improper-coloring",
+        ("RC101",),
+        "structure",
+        "complex",
+        _pass_complex_improper_coloring,
+    ),
+    DomainPass("link-disconnected", ("RC203",), "link", "complex", _pass_link_disconnected),
+    # CarrierMap subjects
+    DomainPass(
+        "carrier-monotone", ("RC102",), "structure", "carrier", _carrier_pass(_iter_not_monotone)
+    ),
+    DomainPass(
+        "carrier-chromatic",
+        ("RC103",),
+        "structure",
+        "carrier",
+        _carrier_pass(_iter_name_not_preserved),
+    ),
+    DomainPass(
+        "carrier-codomain",
+        ("RC106",),
+        "structure",
+        "carrier",
+        _carrier_pass(_iter_image_outside_codomain),
+    ),
+    DomainPass(
+        "carrier-rigid", ("RC107",), "structure", "carrier", _carrier_pass(_iter_not_rigid)
+    ),
+    DomainPass(
+        "carrier-total", ("RC301",), "structure", "carrier", _carrier_pass(_iter_not_total)
+    ),
+]
+
+
+def _kind_of(subject: Subject) -> str:
+    if isinstance(subject, Task):
+        return "task"
+    if isinstance(subject, CarrierMap):
+        return "carrier"
+    if isinstance(subject, SimplicialComplex):
+        return "complex"
+    raise TypeError(f"cannot check {type(subject).__name__} objects")
+
+
+def run_domain_checks(
+    subject: Subject,
+    stages: Sequence[str] = ("structure",),
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    name: Optional[str] = None,
+) -> CheckResult:
+    """Run the applicable domain passes over one subject.
+
+    ``stages`` picks pass groups (``structure``, ``canonical``, ``link``);
+    ``select``/``ignore`` filter by code prefix (a selected code's pass
+    runs regardless of stage).  Per pass, at most
+    :data:`MAX_FINDINGS_PER_PASS` findings are reported.
+    """
+    where = _subject_name(subject, name)
+    result = CheckResult(subjects=[where])
+    for p in iter_passes(DOMAIN_PASSES, _kind_of(subject), stages, select, ignore):
+        result.diagnostics.extend(_capped(iter(p.run(subject, where))))
+        result.passes_run += 1
+    return result
+
+
+def check_task(
+    task: Task,
+    deep: bool = False,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    name: Optional[str] = None,
+) -> CheckResult:
+    """Check one task.
+
+    The default run verifies the structural invariants every pipeline
+    entry point assumes.  With ``deep=True`` the task is additionally
+    pushed through :func:`~repro.splitting.pipeline.link_connected_form`
+    and the transformed task is held to the ``canonical`` and ``link``
+    stage invariants (Theorems 3.1 and 4.3 guarantee they hold — a finding
+    there means the transform itself is broken).
+    """
+    result = run_domain_checks(task, ("structure",), select, ignore, name)
+    if deep and result.ok:
+        from ..splitting.pipeline import link_connected_form
+
+        transform = link_connected_form(task)
+        where = _subject_name(task, name)
+        result.extend(
+            run_domain_checks(
+                transform.task,
+                ("structure", "canonical", "link"),
+                select,
+                ignore,
+                name=f"{where} (transformed)",
+            )
+        )
+    return result
+
+
+def check_complex(
+    cx: SimplicialComplex,
+    stages: Sequence[str] = ("structure", "link"),
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    name: Optional[str] = None,
+) -> CheckResult:
+    """Check a bare complex (coloring plus link-connectivity by default)."""
+    return run_domain_checks(cx, stages, select, ignore, name)
+
+
+def check_carrier_map(
+    delta: CarrierMap,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    name: Optional[str] = None,
+) -> CheckResult:
+    """Check a bare carrier map (monotonicity, rigidity, totality, colors)."""
+    return run_domain_checks(delta, ("structure",), select, ignore, name)

@@ -1,0 +1,164 @@
+"""Renderers for check results: text, JSON, SARIF 2.1.0.
+
+The text format is for humans at a terminal; JSON is a stable
+machine-readable dump (schema ``repro-check/1``); SARIF is the
+interchange format code-scanning UIs (e.g. GitHub) ingest, with one rule
+per ``RCxxx`` code rendered from the :data:`~repro.check.diagnostics.CODES`
+registry.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from .diagnostics import CODES, Diagnostic
+from .passes import CheckResult
+from .tooling import ToolReport
+
+#: JSON report format identifier
+JSON_SCHEMA = "repro-check/1"
+
+_SARIF_LEVELS = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def render_text(
+    result: CheckResult, tools: Sequence[ToolReport] = (), verbose: bool = False
+) -> str:
+    """Human-readable report: findings, tool outcomes, one-line summary."""
+    lines: List[str] = []
+    for d in result.diagnostics:
+        lines.append(d.render())
+    for t in tools:
+        lines.append(t.render())
+    errors = sum(1 for d in result.diagnostics if d.severity == "error")
+    warnings = sum(1 for d in result.diagnostics if d.severity == "warning")
+    n_subjects = len(result.subjects)
+    summary = (
+        f"checked {n_subjects} subject(s), {result.passes_run} pass run(s): "
+        f"{errors} error(s), {warnings} warning(s)"
+    )
+    if tools:
+        oks = sum(1 for t in tools if t.ok)
+        skips = sum(1 for t in tools if t.skipped)
+        fails = len(tools) - oks - skips
+        summary += f"; tools: {oks} ok, {skips} skipped, {fails} failed"
+    if verbose and result.subjects:
+        lines.append("subjects: " + ", ".join(result.subjects))
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: CheckResult, tools: Sequence[ToolReport] = ()) -> str:
+    """Stable machine-readable JSON dump of a check run."""
+    payload: Dict[str, Any] = {
+        "schema": JSON_SCHEMA,
+        "subjects": list(result.subjects),
+        "passes_run": result.passes_run,
+        "ok": result.ok and all(t.ok or t.skipped for t in tools),
+        "diagnostics": [d.as_dict() for d in result.diagnostics],
+    }
+    if tools:
+        payload["tools"] = [
+            {
+                "tool": t.tool,
+                "status": t.status,
+                "detail": t.detail,
+                "output": t.output_lines,
+            }
+            for t in tools
+        ]
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _sarif_location(d: Diagnostic) -> Optional[Dict[str, Any]]:
+    if d.location is None:
+        return None
+    parts = d.location.rsplit(":", 2)
+    if len(parts) != 3:
+        return None
+    uri, line, col = parts
+    try:
+        region = {"startLine": int(line), "startColumn": int(col)}
+    except ValueError:
+        return None
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": uri},
+            "region": region,
+        }
+    }
+
+
+def render_sarif(result: CheckResult, tools: Sequence[ToolReport] = ()) -> str:
+    """SARIF 2.1.0 log with one reporting rule per ``RCxxx`` code."""
+    rules = [
+        {
+            "id": info.code,
+            "name": info.slug,
+            "shortDescription": {"text": info.slug},
+            "fullDescription": {"text": info.summary},
+            "helpUri": "docs/static_analysis.md",
+        }
+        for info in sorted(CODES.values(), key=lambda i: i.code)
+    ]
+    results: List[Dict[str, Any]] = []
+    for d in result.diagnostics:
+        message = d.message
+        if d.witness:
+            message += f" — witness: {d.witness}"
+        entry: Dict[str, Any] = {
+            "ruleId": d.code,
+            "level": _SARIF_LEVELS.get(d.severity, "error"),
+            "message": {"text": f"[{d.subject}] {message}"},
+        }
+        loc = _sarif_location(d)
+        if loc is not None:
+            entry["locations"] = [loc]
+        results.append(entry)
+    invocations = [
+        {
+            "executionSuccessful": result.ok and all(t.ok or t.skipped for t in tools),
+            "toolExecutionNotifications": [
+                {
+                    "level": "note" if t.ok or t.skipped else "error",
+                    "message": {"text": f"{t.tool}: {t.status} {t.detail}".strip()},
+                }
+                for t in tools
+            ],
+        }
+    ]
+    log = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.check",
+                        "informationUri": "docs/static_analysis.md",
+                        "rules": rules,
+                    }
+                },
+                "invocations": invocations,
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)
+
+
+def render(
+    fmt: str,
+    result: CheckResult,
+    tools: Sequence[ToolReport] = (),
+    verbose: bool = False,
+) -> str:
+    """Dispatch on ``fmt`` ∈ {text, json, sarif}."""
+    if fmt == "text":
+        return render_text(result, tools, verbose=verbose)
+    if fmt == "json":
+        return render_json(result, tools)
+    if fmt == "sarif":
+        return render_sarif(result, tools)
+    raise ValueError(f"unknown output format {fmt!r}")

@@ -1,0 +1,112 @@
+"""The domain pass manager.
+
+A :class:`DomainPass` bundles one verification rule: the codes it can
+emit, the *stage* it belongs to, the subject type it applies to, and the
+function that inspects a subject and yields diagnostics.  Stages mirror
+the paper's pipeline:
+
+* ``structure`` — well-formedness of any task triple (always applicable);
+* ``canonical`` — invariants established by canonicalization (Section 3);
+* ``link`` — invariants established by LAP elimination (Section 4).
+
+The manager is deliberately tiny: passes are pure functions over immutable
+subjects, selection is by stage plus code-prefix ``select``/``ignore``
+filters (``RC1`` selects every ``RC1xx`` code), and results aggregate into
+a :class:`CheckResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .diagnostics import CODES, Diagnostic
+
+#: A pass body: ``(subject, subject_name) -> iterator of diagnostics``.
+PassFn = Callable[[object, str], Iterator[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class DomainPass:
+    """One registered verification rule."""
+
+    name: str
+    codes: Tuple[str, ...]
+    stage: str
+    subject_kind: str  # "task" | "complex" | "carrier"
+    fn: PassFn
+
+    def __post_init__(self) -> None:
+        for code in self.codes:
+            if code not in CODES:
+                raise ValueError(f"pass {self.name!r} declares unknown code {code}")
+
+    def run(self, subject: object, subject_name: str) -> List[Diagnostic]:
+        """Run the pass and materialize its findings."""
+        return list(self.fn(subject, subject_name))
+
+
+def _matches(code: str, prefixes: Optional[Sequence[str]]) -> bool:
+    if prefixes is None:
+        return False
+    return any(code.startswith(p) for p in prefixes)
+
+
+def iter_passes(
+    passes: Iterable[DomainPass],
+    subject_kind: str,
+    stages: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> Iterator[DomainPass]:
+    """Passes applicable to a subject kind under stage/code filters.
+
+    ``select`` keeps only passes emitting at least one code matching a
+    prefix; ``ignore`` drops passes *all* of whose codes match.  A pass
+    explicitly selected by code prefix runs even if its stage was not
+    requested — that is how a single corrupted-input test targets exactly
+    one code.
+    """
+    for p in passes:
+        if p.subject_kind != subject_kind:
+            continue
+        selected = select is not None and any(_matches(c, select) for c in p.codes)
+        if select is not None and not selected:
+            continue
+        if not selected and p.stage not in stages:
+            continue
+        if ignore is not None and all(_matches(c, ignore) for c in p.codes):
+            continue
+        yield p
+
+
+@dataclass
+class CheckResult:
+    """Aggregated findings from one or more check runs."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    subjects: List[str] = field(default_factory=list)
+    passes_run: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True iff no error-severity diagnostic was reported."""
+        return not any(d.severity == "error" for d in self.diagnostics)
+
+    def codes(self) -> Tuple[str, ...]:
+        """The distinct codes reported, sorted."""
+        return tuple(sorted({d.code for d in self.diagnostics}))
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        """All findings with a given code."""
+        return [d for d in self.diagnostics if d.code == code]
+
+    def extend(self, other: "CheckResult") -> "CheckResult":
+        """Fold another result into this one (returns ``self``)."""
+        self.diagnostics.extend(other.diagnostics)
+        self.subjects.extend(other.subjects)
+        self.passes_run += other.passes_run
+        return self
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)

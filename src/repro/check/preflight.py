@@ -1,0 +1,53 @@
+"""Pre-flight validation for the decision procedure.
+
+:func:`repro.solvability.decision.decide_solvability` accepts
+``validate=True`` to run the Level-1 structural passes before deciding
+anything; a malformed task then fails *loudly*, with every diagnostic and
+witness, instead of silently producing a wrong verdict.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from ..tasks.task import TaskError
+from .diagnostics import Diagnostic
+
+if TYPE_CHECKING:
+    from ..tasks.task import Task
+
+
+class PreflightError(TaskError):
+    """A task failed static verification before the decision procedure.
+
+    Subclasses :class:`~repro.tasks.task.TaskError` so existing callers
+    that guard against malformed tasks keep working; carries the full
+    diagnostic list for programmatic access.
+    """
+
+    def __init__(self, task_name: str, diagnostics: List[Diagnostic]) -> None:
+        self.diagnostics = diagnostics
+        lines = [
+            f"task {task_name!r} failed pre-flight verification "
+            f"({len(diagnostics)} finding(s)):"
+        ]
+        lines.extend(f"  {d.render()}" for d in diagnostics[:10])
+        if len(diagnostics) > 10:
+            lines.append(f"  … and {len(diagnostics) - 10} more")
+        super().__init__("\n".join(lines))
+
+
+def preflight_check(task: "Task") -> None:
+    """Raise :class:`PreflightError` if a task violates structural invariants.
+
+    Runs the ``structure`` stage of the domain passes (RC1xx/RC3xx);
+    warnings (e.g. ``RC302 output-unreachable``) do not fail the
+    pre-flight, matching what the pipeline actually tolerates
+    (``link_connected_form`` restricts to the reachable part itself).
+    """
+    from .domain import run_domain_checks
+
+    result = run_domain_checks(task, stages=("structure",))
+    errors = [d for d in result.diagnostics if d.severity == "error"]
+    if errors:
+        raise PreflightError(task.name or "task", errors)

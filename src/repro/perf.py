@@ -79,7 +79,7 @@ class Measurement:
 class PerfHarness:
     """Collects measurements and emits one schema-validated JSON report."""
 
-    def __init__(self, suite: str):
+    def __init__(self, suite: str) -> None:
         self.suite = suite
         self.measurements: List[Measurement] = []
         self.derived: Dict[str, float] = {}

@@ -116,6 +116,7 @@ def decide_solvability(
     run_obstructions: bool = True,
     chromatic_witness: bool = False,
     max_nodes: int = 2_000_000,
+    validate: bool = False,
 ) -> SolvabilityVerdict:
     """Decide wait-free solvability of a task.
 
@@ -138,7 +139,18 @@ def decide_solvability(
         unsolvability, so this only affects SOLVABLE witnesses.
     max_nodes:
         Backtracking budget per search.
+    validate:
+        Pre-flight the task through the :mod:`repro.check` structural
+        passes first; a malformed task raises
+        :class:`~repro.check.preflight.PreflightError` (with every
+        diagnostic and witness) instead of yielding a silent wrong
+        verdict.
     """
+    if validate:
+        # imported lazily: repro.check depends on the tasks/topology layers
+        from ..check.preflight import preflight_check
+
+        preflight_check(task)
     t0 = time.perf_counter()
     stats: Dict[str, float] = {}
     n = task.n_processes

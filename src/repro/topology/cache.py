@@ -29,17 +29,19 @@ from __future__ import annotations
 
 import functools
 from contextlib import contextmanager
-from typing import Any, Callable, Dict, Iterator
+from typing import Any, Callable, Dict, Iterator, List, TypeVar, cast
 
 _enabled: bool = True
 _epoch: int = 0
 #: query name -> [hits, misses]
-_stats: Dict[str, list] = {}
+_stats: Dict[str, List[int]] = {}
 
 _EPOCH_KEY = "#epoch"
 
+F = TypeVar("F", bound=Callable[..., Any])
 
-def memoized_method(fn: Callable) -> Callable:
+
+def memoized_method(fn: F) -> F:
     """Memoize a method of an immutable object into its ``_cache`` slot.
 
     Positional arguments must be hashable (unhashable calls fall through to
@@ -51,7 +53,7 @@ def memoized_method(fn: Callable) -> Callable:
     stat = _stats.setdefault(name, [0, 0])
 
     @functools.wraps(fn)
-    def wrapper(self, *args, **kwargs):
+    def wrapper(self: Any, *args: Any, **kwargs: Any) -> Any:
         if not _enabled:
             return fn(self, *args, **kwargs)
         cache = self._cache
@@ -70,7 +72,7 @@ def memoized_method(fn: Callable) -> Callable:
         cache[key] = out
         return out
 
-    return wrapper
+    return cast(F, wrapper)
 
 
 def caching_enabled() -> bool:

@@ -29,6 +29,10 @@ def _reconstruct_complex(cls, facets, name):
     return cls(facets, name=name)
 
 
+#: slots that define a complex's identity; frozen once ``__init__`` sets them
+_STRUCTURAL_SLOTS = frozenset({"_simplices", "_facets", "_vertices", "_dim"})
+
+
 class SimplicialComplex:
     """A finite abstract simplicial complex.
 
@@ -85,6 +89,31 @@ class SimplicialComplex:
             if s.dim > 0:
                 non_facets.update(s.boundary())
         return [s for s in closure if s not in non_facets]
+
+    def __setattr__(self, name: str, value) -> None:
+        # The memoization layer (repro.topology.cache) assumes structural
+        # state never changes after construction; rebinding it would leave
+        # stale cached links/stars/components silently wrong, so the
+        # structural slots freeze after their first assignment.
+        if name in _STRUCTURAL_SLOTS:
+            try:
+                object.__getattribute__(self, name)
+            except AttributeError:
+                pass  # first assignment, during __init__
+            else:
+                raise AttributeError(
+                    f"{type(self).__name__}.{name} is frozen after construction "
+                    "(mutating it would desynchronize memoized queries; build a "
+                    "new complex instead)"
+                )
+        object.__setattr__(self, name, value)
+
+    def __delattr__(self, name: str) -> None:
+        if name in _STRUCTURAL_SLOTS:
+            raise AttributeError(
+                f"{type(self).__name__}.{name} is frozen after construction"
+            )
+        object.__delattr__(self, name)
 
     # -- constructors -------------------------------------------------------
 

@@ -1,0 +1,119 @@
+"""End-to-end tests for ``python -m repro check``."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.io import save_task
+from repro.tasks.task import Task
+from repro.topology.carrier import CarrierMap
+from repro.topology.chromatic import ChromaticComplex
+from repro.topology.complexes import SimplicialComplex
+from repro.topology.simplex import chrom
+
+
+@pytest.fixture()
+def corrupt_task_file(tmp_path):
+    """A task JSON whose Δ drops a vertex image (RC301)."""
+    edge = chrom((0, 0), (1, 1))
+    out = chrom((0, "a"), (1, "b"))
+    inputs = ChromaticComplex([edge], name="I")
+    outputs = SimplicialComplex([out], name="O")
+    delta = CarrierMap(
+        inputs,
+        outputs,
+        {edge: [out], chrom((0, 0)): [chrom((0, "a"))]},
+        check=False,
+    )
+    task = Task(inputs, outputs, delta, name="broken", check=False)
+    path = tmp_path / "broken.json"
+    save_task(task, str(path))
+    return str(path)
+
+
+def test_whole_zoo_is_clean_by_default(capsys):
+    assert main(["check"]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out and "0 warning(s)" in out
+
+
+def test_single_zoo_target(capsys):
+    assert main(["check", "identity"]) == 0
+    assert "checked 1 subject(s)" in capsys.readouterr().out
+
+
+def test_deep_mode_clean(capsys):
+    assert main(["check", "identity", "--deep"]) == 0
+    # the transformed task is checked as a second subject
+    assert "checked 2 subject(s)" in capsys.readouterr().out
+
+
+def test_unknown_target_is_usage_error():
+    with pytest.raises(SystemExit):
+        main(["check", "no-such-task"])
+
+
+def test_corrupt_json_fails_with_rc301(corrupt_task_file, capsys):
+    assert main(["check", corrupt_task_file]) == 1
+    out = capsys.readouterr().out
+    assert "RC301" in out and "delta-not-total" in out
+
+
+def test_json_format(corrupt_task_file, capsys):
+    assert main(["check", corrupt_task_file, "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == "repro-check/1"
+    assert payload["ok"] is False
+    assert [d["code"] for d in payload["diagnostics"]] == ["RC301"]
+    assert payload["diagnostics"][0]["witness"]
+
+
+def test_sarif_format(corrupt_task_file, capsys):
+    assert main(["check", corrupt_task_file, "--format", "sarif"]) == 1
+    sarif = json.loads(capsys.readouterr().out)
+    assert sarif["version"] == "2.1.0"
+    run = sarif["runs"][0]
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert "RC301" in rule_ids and "RC401" in rule_ids
+    assert [r["ruleId"] for r in run["results"]] == ["RC301"]
+
+
+def test_ignore_suppresses(corrupt_task_file, capsys):
+    assert main(["check", corrupt_task_file, "--ignore", "RC301"]) == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_select_restricts(corrupt_task_file, capsys):
+    assert main(["check", corrupt_task_file, "--select", "RC1"]) == 0
+    capsys.readouterr()
+
+
+def test_output_file(tmp_path, capsys):
+    dest = tmp_path / "report.json"
+    assert main(["check", "identity", "--format", "json", "--output", str(dest)]) == 0
+    payload = json.loads(dest.read_text())
+    assert payload["ok"] is True
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_self_check_exits_zero(capsys):
+    assert main(["check", "--self"]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out
+
+
+def test_self_check_no_tools(capsys):
+    assert main(["check", "--self", "--no-tools"]) == 0
+    out = capsys.readouterr().out
+    assert "mypy" not in out and "ruff" not in out
+
+
+def test_self_rejects_targets():
+    with pytest.raises(SystemExit):
+        main(["check", "identity", "--self"])
+
+
+def test_self_rejects_deep():
+    with pytest.raises(SystemExit):
+        main(["check", "--self", "--deep"])

@@ -1,0 +1,278 @@
+"""One deliberately corrupted variant per ``RCxxx`` domain code.
+
+Every test builds a minimal malformed subject, runs the checker, and
+asserts that *exactly* the expected code fires:
+
+* ``error_codes`` of the full ``structure`` run equal the target (RC302
+  is a warning, so it never pollutes the error set);
+* a ``select``-restricted run reports the target code and nothing else;
+* the diagnostic carries a concrete witness.
+
+Where malformedness mathematically entails a second violation (an impure
+or wrong-dimension image necessarily breaks color preservation too), the
+test pins the co-firing explicitly.
+"""
+
+import pytest
+
+from repro.check import check_complex, check_task, run_domain_checks
+from repro.tasks.canonical import canonicalize_if_needed
+from repro.tasks.task import Task
+from repro.tasks.zoo import constant_task, hourglass_task
+from repro.topology.carrier import CarrierMap
+from repro.topology.chromatic import ChromaticComplex
+from repro.topology.complexes import SimplicialComplex
+from repro.topology.simplex import Simplex, chrom
+
+
+def error_codes(result):
+    return {d.code for d in result.diagnostics if d.severity == "error"}
+
+
+def warning_codes(result):
+    return {d.code for d in result.diagnostics if d.severity == "warning"}
+
+
+def edge_task(images, output_facets, name="corrupt"):
+    """A 2-process task over the single input edge {(0:0), (1:1)}."""
+    i_edge = chrom((0, 0), (1, 1))
+    inputs = ChromaticComplex([i_edge], name="I")
+    outputs = SimplicialComplex(output_facets, name="O")
+    delta = CarrierMap(inputs, outputs, images, check=False)
+    return Task(inputs, outputs, delta, name=name, check=False)
+
+
+V00, V11 = chrom((0, 0)), chrom((1, 1))
+EDGE = chrom((0, 0), (1, 1))
+E1 = chrom((0, "a"), (1, "b"))
+E2 = chrom((0, "c"), (1, "d"))
+
+
+class TestRC101ImproperColoring:
+    def test_fires_on_repeated_color_in_output(self):
+        bad_facet = chrom((0, "a"), (0, "b"), (1, "c"))
+        task = edge_task(
+            {EDGE: [bad_facet], V00: [chrom((0, "a"))], V11: [chrom((1, "c"))]},
+            [bad_facet],
+        )
+        result = run_domain_checks(task, select=["RC101"])
+        assert result.codes() == ("RC101",)
+        (diag,) = result.by_code("RC101")
+        assert "(0:'a')" in diag.witness and "(0:'b')" in diag.witness
+        assert "RC101" in error_codes(check_task(task))
+
+
+class TestRC102NotMonotone:
+    def test_fires_when_vertex_image_escapes_edge_image(self):
+        task = edge_task(
+            {EDGE: [E1], V00: [chrom((0, "c"))], V11: [chrom((1, "b"))]},
+            [E1, E2],
+        )
+        result = check_task(task)
+        assert error_codes(result) == {"RC102"}
+        (diag,) = result.by_code("RC102")
+        assert "face=" in diag.witness and "simplex=" in diag.witness
+
+    def test_select_isolates(self):
+        task = edge_task(
+            {EDGE: [E1], V00: [chrom((0, "c"))], V11: [chrom((1, "b"))]},
+            [E1, E2],
+        )
+        assert run_domain_checks(task, select=["RC102"]).codes() == ("RC102",)
+
+
+class TestRC103NameNotPreserved:
+    def test_fires_on_color_swap(self):
+        swapped = chrom((0, "a"), (2, "b"))
+        task = edge_task(
+            {EDGE: [swapped], V00: [chrom((0, "a"))], V11: [chrom((2, "b"))]},
+            [swapped],
+        )
+        result = check_task(task)
+        assert error_codes(result) == {"RC103"}
+        assert any("colors" in d.message for d in result.by_code("RC103"))
+
+
+class TestRC104DimensionMismatch:
+    def test_fires_on_unequal_dimensions(self):
+        triangle = chrom((0, "a"), (1, "b"), (2, "c"))
+        out_edge = chrom((0, "a"), (1, "b"))
+        task = edge_task({EDGE: [out_edge], V00: [chrom((0, "a"))], V11: [chrom((1, "b"))]},
+                         [triangle])
+        result = check_task(task)
+        assert error_codes(result) == {"RC104"}
+        (diag,) = result.by_code("RC104")
+        assert "dim(I)=1" in diag.witness and "dim(O)=2" in diag.witness
+
+
+class TestRC105ImpureComplex:
+    def test_fires_on_impure_input(self):
+        tri = chrom((0, 0), (1, 1), (2, 2))
+        lone = chrom((0, 9))
+        inputs = ChromaticComplex([tri, lone], name="I")
+        out_tri = chrom((0, "a"), (1, "b"), (2, "c"))
+        out_lone = chrom((0, "z"))
+        outputs = ChromaticComplex([out_tri, out_lone], name="O")
+        images = {s: SimplicialComplex([]) for s in inputs.simplices()}
+        for s in tri.faces():
+            images[s] = SimplicialComplex(
+                [Simplex(out_tri.vertex_of_color(c) for c in s.colors())]
+            )
+        images[lone] = SimplicialComplex([out_lone])
+        delta = CarrierMap(inputs, outputs, images, check=False)
+        task = Task(inputs, outputs, delta, name="impure", check=False)
+        result = check_task(task)
+        assert error_codes(result) == {"RC105"}
+        (diag,) = result.by_code("RC105")
+        assert "(0:9)" in diag.witness
+
+
+class TestRC106ImageOutsideCodomain:
+    def test_fires_on_foreign_image_simplex(self):
+        # the image is internally consistent (monotone, rigid, colored) but
+        # lives entirely outside the declared output complex
+        foreign = chrom((0, "x"), (1, "y"))
+        task = edge_task(
+            {EDGE: [foreign], V00: [chrom((0, "x"))], V11: [chrom((1, "y"))]},
+            [E1],
+        )
+        result = check_task(task)
+        assert error_codes(result) == {"RC106"}
+        assert any("'x'" in d.witness for d in result.by_code("RC106"))
+
+
+class TestRC107NotRigid:
+    def test_fires_on_wrong_dimension_image(self):
+        # Δ(edge) is 0-dimensional: rigidity fails, and—as entailed for any
+        # chromatic task—the facet colors cannot match either (RC103)
+        task = edge_task(
+            {
+                EDGE: [chrom((0, "a")), chrom((1, "b"))],
+                V00: [chrom((0, "a"))],
+                V11: [chrom((1, "b"))],
+            },
+            [E1],
+        )
+        assert run_domain_checks(task, select=["RC107"]).codes() == ("RC107",)
+        full = error_codes(check_task(task))
+        assert "RC107" in full and full <= {"RC107", "RC103"}
+
+    def test_fires_on_impure_image(self):
+        tri = chrom((0, 0), (1, 1), (2, 2))
+        inputs = ChromaticComplex([tri], name="I")
+        out_tri = chrom((0, "a"), (1, "b"), (2, "c"))
+        stray = chrom((0, "s"), (1, "t"))
+        outputs = ChromaticComplex([out_tri, stray], name="O")
+        images = {}
+        for s in tri.faces():
+            images[s] = SimplicialComplex(
+                [Simplex(out_tri.vertex_of_color(c) for c in s.colors())]
+            )
+        images[tri] = SimplicialComplex([out_tri, stray])
+        delta = CarrierMap(inputs, outputs, images, check=False)
+        task = Task(inputs, outputs, delta, name="impure-image", check=False)
+        result = run_domain_checks(task, select=["RC107"])
+        assert result.codes() == ("RC107",)
+        (diag,) = result.by_code("RC107")
+        assert "not pure" in diag.message
+
+
+class TestRC301NotTotal:
+    def test_fires_on_empty_image(self):
+        task = edge_task({EDGE: [E1], V00: [chrom((0, "a"))]}, [E1])
+        result = check_task(task)
+        assert error_codes(result) == {"RC301"}
+        (diag,) = result.by_code("RC301")
+        assert "(1:1)" in diag.witness
+
+
+class TestRC302OutputUnreachable:
+    def test_warns_on_unreachable_facet(self):
+        task = edge_task(
+            {EDGE: [E1], V00: [chrom((0, "a"))], V11: [chrom((1, "b"))]},
+            [E1, E2],
+        )
+        result = check_task(task)
+        assert error_codes(result) == set()
+        assert warning_codes(result) == {"RC302"}
+        assert result.ok  # warnings do not fail a check
+        (diag,) = result.by_code("RC302")
+        assert "'c'" in diag.witness or "'d'" in diag.witness
+
+
+class TestRC201NotCanonical:
+    def test_fires_on_non_canonical_zoo_task(self):
+        task = constant_task(3)
+        result = run_domain_checks(task, stages=("canonical",))
+        assert result.codes() == ("RC201",)
+        assert any("preimages" in d.message or "share" in d.message
+                   for d in result.by_code("RC201"))
+
+    def test_clean_after_canonicalization(self):
+        canon = canonicalize_if_needed(constant_task(3)).task
+        assert run_domain_checks(canon, stages=("canonical",)).codes() == ()
+
+
+class TestRC202ResidualLAP:
+    def test_fires_on_canonical_hourglass(self):
+        canon = canonicalize_if_needed(hourglass_task()).task
+        result = run_domain_checks(canon, stages=("link",))
+        assert result.codes() == ("RC202",)
+        (diag,) = result.by_code("RC202")
+        assert "2 components" in diag.message
+        assert "w.r.t." in diag.witness and "components" in diag.witness
+
+    def test_clean_after_splitting(self):
+        from repro.splitting.pipeline import link_connected_form
+
+        split = link_connected_form(hourglass_task()).task
+        assert run_domain_checks(split, stages=("link",)).codes() == ()
+
+
+class TestRC203LinkDisconnected:
+    def test_fires_on_bowtie(self):
+        pivot = chrom((0, "m")).sorted_vertices()[0]
+        bowtie = SimplicialComplex(
+            [
+                Simplex([pivot, *chrom((1, "a"), (2, "b")).sorted_vertices()]),
+                Simplex([pivot, *chrom((1, "c"), (2, "d")).sorted_vertices()]),
+            ],
+            name="bowtie",
+        )
+        result = check_complex(bowtie)
+        assert result.codes() == ("RC203",)
+        (diag,) = result.by_code("RC203")
+        assert "2 connected components" in diag.message
+        assert "(0:'m')" in diag.witness
+
+    def test_clean_on_solid_triangle(self):
+        tri = SimplicialComplex([chrom((0, "a"), (1, "b"), (2, "c"))])
+        assert check_complex(tri).codes() == ()
+
+
+class TestCarrierMapSubject:
+    def test_carrier_checks_run_standalone(self):
+        from repro.check import check_carrier_map
+
+        inputs = ChromaticComplex([EDGE], name="I")
+        outputs = SimplicialComplex([E1, E2], name="O")
+        delta = CarrierMap(
+            inputs,
+            outputs,
+            {EDGE: [E1], V00: [chrom((0, "c"))], V11: [chrom((1, "b"))]},
+            check=False,
+        )
+        result = check_carrier_map(delta)
+        assert "RC102" in result.codes()
+
+
+class TestCleanTask:
+    def test_identity_clean_at_every_stage(self):
+        from repro.tasks.zoo import identity_task
+
+        task = identity_task(3)
+        assert check_task(task, deep=True).codes() == ()
+
+    def test_unknown_subject_type_rejected(self):
+        with pytest.raises(TypeError):
+            run_domain_checks(42)  # type: ignore[arg-type]

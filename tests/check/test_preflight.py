@@ -1,0 +1,58 @@
+"""The ``validate=`` pre-flight hook on the decision pipeline."""
+
+import pytest
+
+from repro.check import PreflightError, preflight_check
+from repro.solvability.decision import Status, decide_solvability
+from repro.tasks.task import Task
+from repro.tasks.zoo import identity_task
+from repro.topology.carrier import CarrierMap
+from repro.topology.chromatic import ChromaticComplex
+from repro.topology.complexes import SimplicialComplex
+from repro.topology.simplex import chrom
+
+
+@pytest.fixture()
+def non_total_task():
+    edge = chrom((0, 0), (1, 1))
+    out = chrom((0, "a"), (1, "b"))
+    inputs = ChromaticComplex([edge], name="I")
+    outputs = SimplicialComplex([out], name="O")
+    delta = CarrierMap(
+        inputs, outputs, {edge: [out], chrom((0, 0)): [chrom((0, "a"))]}, check=False
+    )
+    return Task(inputs, outputs, delta, name="non-total", check=False)
+
+
+def test_preflight_passes_clean_task():
+    preflight_check(identity_task(3))  # no exception
+
+
+def test_preflight_raises_with_diagnostics(non_total_task):
+    with pytest.raises(PreflightError) as exc:
+        preflight_check(non_total_task)
+    assert any(d.code == "RC301" for d in exc.value.diagnostics)
+    assert "RC301" in str(exc.value)
+
+
+def test_decide_solvability_validate_rejects(non_total_task):
+    with pytest.raises(PreflightError):
+        decide_solvability(non_total_task, validate=True)
+
+
+def test_decide_solvability_validate_passes_clean():
+    verdict = decide_solvability(identity_task(3), validate=True)
+    assert verdict.status is Status.SOLVABLE
+
+
+def test_validate_defaults_off(non_total_task):
+    # without validate= the pipeline still runs (and is free to return
+    # whatever it likes on garbage); the hook must be opt-in
+    decide_solvability(non_total_task)
+
+
+def test_cli_analyze_validate_flag(capsys):
+    from repro.__main__ import main
+
+    assert main(["analyze", "identity", "--validate"]) == 0
+    capsys.readouterr()

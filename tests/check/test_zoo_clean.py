@@ -1,0 +1,51 @@
+"""Every zoo task is clean under the full Level-1 checker.
+
+This is the acceptance gate for the verifier itself: the zoo is the
+repo's ground-truth task corpus, so any diagnostic on it is either a bug
+in a zoo constructor or (far more likely) a false positive in a pass.
+
+``--deep`` additionally pushes each task through the Section 3/4
+transform and holds the result to the canonical/link invariants, which
+the raw zoo tasks are *not* expected to satisfy.
+"""
+
+import pytest
+
+from repro.__main__ import ZOO
+from repro.check import check_task, run_domain_checks
+from repro.splitting.pipeline import link_connected_form
+
+
+@pytest.fixture(scope="module")
+def zoo_tasks():
+    return {name: fn() for name, fn in sorted(ZOO.items())}
+
+
+def test_zoo_registry_nonempty(zoo_tasks):
+    assert len(zoo_tasks) >= 15
+
+
+@pytest.mark.parametrize("name", sorted(ZOO))
+def test_structure_stage_clean(name):
+    result = check_task(ZOO[name](), name=name)
+    assert not result.diagnostics, [d.render() for d in result.diagnostics]
+    assert result.ok
+    assert result.passes_run > 0
+
+
+@pytest.mark.parametrize("name", sorted(ZOO))
+def test_deep_check_clean(name):
+    # transform + canonical/link stages on the transformed task
+    result = check_task(ZOO[name](), deep=True, name=name)
+    assert not result.diagnostics, [d.render() for d in result.diagnostics]
+
+
+def test_transformed_zoo_is_canonical_and_lap_free(zoo_tasks):
+    # the deep check's canonical/link stages must actually bite on the
+    # transformed tasks: run them directly and confirm zero findings
+    for name, task in zoo_tasks.items():
+        transformed = link_connected_form(task).task
+        result = run_domain_checks(
+            transformed, stages=("structure", "canonical", "link")
+        )
+        assert result.codes() == (), (name, result.codes())

@@ -91,6 +91,22 @@ class TestCensus:
     def test_sparse(self, capsys):
         assert main(["census", "--seeds", "3", "--sparse"]) == 0
 
+    def test_zero_workers_rejected(self):
+        with pytest.raises(SystemExit, match="--workers must be at least 1"):
+            main(["census", "--seeds", "2", "--workers", "0"])
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(SystemExit, match="--workers must be at least 1"):
+            main(["census", "--seeds", "2", "--workers", "-4"])
+
+    def test_negative_chunksize_rejected(self):
+        with pytest.raises(SystemExit, match="--chunksize must be at least 1"):
+            main(["census", "--seeds", "2", "--chunksize", "-1"])
+
+    def test_negative_seeds_rejected(self):
+        with pytest.raises(SystemExit, match="--seeds must be non-negative"):
+            main(["census", "--seeds", "-5"])
+
 
 class TestParser:
     def test_requires_command(self):

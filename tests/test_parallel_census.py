@@ -52,6 +52,28 @@ def test_invalid_chunksize_rejected():
         parallel_census(SEEDS, workers=2, chunksize=0)
 
 
+def test_negative_chunksize_rejected():
+    with pytest.raises(ValueError, match="chunksize must be at least 1, got -3"):
+        parallel_census(SEEDS, workers=2, chunksize=-3)
+
+
+@pytest.mark.parametrize("workers", [0, -1])
+def test_nonpositive_workers_rejected(workers):
+    # workers=0 used to silently mean "cpu count"; it is now an error
+    # (None is the documented spelling for the default)
+    with pytest.raises(ValueError, match="workers must be at least 1"):
+        parallel_census(SEEDS, workers=workers)
+
+
+def test_validation_precedes_generation():
+    # bad knobs fail fast, before any task is generated or pool spawned
+    def exploding_generator(seed):  # pragma: no cover - must never run
+        raise AssertionError("generator should not be invoked")
+
+    with pytest.raises(ValueError):
+        parallel_census(SEEDS, generator=exploding_generator, workers=0)
+
+
 def test_generator_parameter_is_respected():
     par = parallel_census(range(4), generator=random_sparse_task, workers=2, chunksize=1)
     assert par.as_tuple() == sparse_census(range(4)).as_tuple()

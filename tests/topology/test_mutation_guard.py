@@ -1,0 +1,58 @@
+"""Structural state of a complex is frozen once memoization can observe it.
+
+Regression test for the cache-desync hazard: ``SimplicialComplex`` answers
+queries from a per-instance memo, so rebinding ``_facets``/``_simplices``
+after construction would leave stale answers silently wrong.  The slots
+are therefore frozen after ``__init__``; ``_hash``/``_cache``/``name``
+stay writable (they carry no structural meaning).
+"""
+
+import pytest
+
+from repro.topology.complexes import SimplicialComplex
+from repro.topology.chromatic import ChromaticComplex
+from repro.topology.simplex import chrom
+
+
+@pytest.fixture()
+def cx():
+    return SimplicialComplex([chrom((0, "a"), (1, "b"), (2, "c"))], name="K")
+
+
+@pytest.mark.parametrize("slot", ["_simplices", "_facets", "_vertices", "_dim"])
+def test_structural_slots_frozen(cx, slot):
+    with pytest.raises(AttributeError, match="frozen after construction"):
+        setattr(cx, slot, None)
+
+
+@pytest.mark.parametrize("slot", ["_simplices", "_facets", "_vertices", "_dim"])
+def test_structural_slots_undeletable(cx, slot):
+    with pytest.raises(AttributeError, match="frozen after construction"):
+        delattr(cx, slot)
+
+
+def test_guard_fires_after_memoized_query(cx):
+    # the dangerous ordering: query (populates the memo), then mutate
+    assert cx.is_pure()
+    with pytest.raises(AttributeError):
+        cx._facets = ()
+    assert cx.is_pure()  # memoized answer still stands, and still correct
+
+
+def test_name_stays_writable(cx):
+    cx.name = "renamed"
+    assert cx.name == "renamed"
+    del cx.name
+
+
+def test_chromatic_subclass_inherits_guard():
+    cc = ChromaticComplex([chrom((0, 0), (1, 1))])
+    with pytest.raises(AttributeError, match="frozen"):
+        cc._dim = 5
+
+
+def test_construction_still_works_normally():
+    # the guard must not interfere with __init__'s first assignments
+    cx = SimplicialComplex([chrom((0, "x"))])
+    assert cx.dim == 0
+    assert len(cx.facets) == 1
