@@ -13,6 +13,11 @@ Commands
     on the shared-memory simulator.
 ``census``
     Decide a population of random tasks and print the certificate counts.
+``conform``
+    Run the conformance campaign: decide, synthesize and cross-check every
+    SOLVABLE verdict against executions over the full schedule space
+    (solo / random / adversarial / exhaustive), with violation shrinking
+    and JSON reports (see ``docs/runtime_conformance.md``).
 ``check``
     Statically verify task invariants (stable ``RCxxx`` diagnostics, with
     witnesses), or lint the library sources themselves (``--self``).
@@ -36,6 +41,11 @@ from .check.cli import add_check_parser
 from .check.preflight import PreflightError, preflight_check
 from .io import load_task, save_task, task_to_json
 from .runtime import synthesize_protocol, validate_protocol
+from .runtime.conformance import (
+    ConformanceConfig,
+    census_slice,
+    run_campaign,
+)
 from .solvability import Status
 from .splitting import link_connected_form
 from .tasks.task import Task
@@ -43,27 +53,8 @@ from .tasks import zoo
 from .topology.dot import write_dot
 
 #: name -> zero-argument constructor for every CLI-addressable zoo task
-ZOO: Dict[str, Callable[[], Task]] = {
-    "identity": lambda: zoo.identity_task(3),
-    "constant": lambda: zoo.constant_task(3),
-    "consensus": lambda: zoo.consensus_task(3),
-    "consensus-2p": lambda: zoo.consensus_task(2),
-    "2-set-agreement": lambda: zoo.inputless_set_agreement_task(3, 2),
-    "3-set-agreement": lambda: zoo.set_agreement_task(3, 3),
-    "majority": zoo.majority_consensus_task,
-    "hourglass": zoo.hourglass_task,
-    "pinwheel": zoo.pinwheel_task,
-    "figure3": zoo.figure3_task,
-    "loop-filled": lambda: zoo.loop_agreement_task(zoo.triangle_loop(True)),
-    "loop-hollow": lambda: zoo.loop_agreement_task(zoo.triangle_loop(False)),
-    "loop-projective": lambda: zoo.loop_agreement_task(zoo.projective_plane_loop()),
-    "approx-agreement": lambda: zoo.approximate_agreement_task(2),
-    "path": lambda: zoo.path_task(3),
-    "fork": zoo.two_process_fork_task,
-    "test-and-set": lambda: zoo.test_and_set_task(3),
-    "fan": lambda: zoo.fan_task(2, 2),
-    "twisted-fan": lambda: zoo.fan_task(2, 2, twisted=True),
-}
+#: (the single registry lives in :func:`repro.tasks.zoo.standard_zoo`)
+ZOO: Dict[str, Callable[[], Task]] = zoo.standard_zoo()
 
 
 def _resolve_task(spec: str) -> Task:
@@ -178,6 +169,63 @@ def cmd_census(args) -> int:
     return 0
 
 
+def cmd_conform(args) -> int:
+    names = []
+    if args.suite == "zoo":
+        names.extend(sorted(ZOO))
+    if args.tasks:
+        for name in args.tasks.split(","):
+            name = name.strip()
+            if name and name not in names:
+                names.append(name)
+    if args.census:
+        names.extend(census_slice(range(args.census)))
+    if not names:
+        raise SystemExit("nothing to conform: pass --suite zoo, --tasks or --census")
+    if args.workers is not None and args.workers < 1:
+        raise SystemExit(f"--workers must be at least 1, got {args.workers}")
+    config = ConformanceConfig(
+        participation=args.participation,
+        random_runs=args.random_runs,
+        exhaustive_limit=args.exhaustive,
+        adversarial=not args.no_adversarial,
+        max_rounds=args.max_rounds,
+        max_steps=args.max_steps,
+        seed=args.seed,
+        prefer_direct=not args.figure7,
+        shrink=not args.no_shrink,
+    )
+    report = run_campaign(names, config, workers=args.workers)
+    width = max(len(t.name) for t in report.tasks)
+    for t in report.tasks:
+        if t.status == "solvable":
+            detail = (
+                f"{t.total_runs:>5} runs  mode={t.mode:<8} "
+                f"max-steps={t.max_steps_seen}"
+            )
+            mark = "ok" if t.ok else f"{len(t.violations)} VIOLATIONS"
+        else:
+            detail = "skipped (no protocol to validate)"
+            mark = t.status
+        print(f"{t.name:<{width}}  {t.status:<10} {detail}  [{mark}]")
+        if t.error:
+            print(f"{'':<{width}}  error: {t.error}")
+        for v in t.violations[:3]:
+            print(
+                f"{'':<{width}}  {v.phase}/{v.detail} on {v.inputs_repr}: "
+                f"{v.reason} (schedule {list(v.schedule)}, shrunk from "
+                f"{v.original_length} steps)"
+            )
+    print(
+        f"campaign: {len(report.tasks)} tasks, {report.total_runs} runs, "
+        f"{report.total_violations} violations, {report.seconds:.1f}s"
+    )
+    if args.json:
+        report.write(args.json)
+        print(f"wrote {args.json}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -225,6 +273,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunksize", type=int, default=8, help="seeds per work item (at least 1)"
     )
     p.set_defaults(fn=cmd_census)
+
+    p = sub.add_parser(
+        "conform",
+        help="cross-check solvability verdicts against executions "
+        "(docs/runtime_conformance.md)",
+    )
+    p.add_argument(
+        "--suite",
+        choices=["zoo", "none"],
+        default="none",
+        help="'zoo' conforms every built-in task",
+    )
+    p.add_argument(
+        "--tasks", metavar="A,B,…", help="comma-separated zoo task names to add"
+    )
+    p.add_argument(
+        "--census",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also conform the first N census tasks (seeds 0..N-1)",
+    )
+    p.add_argument(
+        "--participation",
+        choices=["all", "facets"],
+        default="all",
+        help="validate all input faces (default) or facets only",
+    )
+    p.add_argument("--random-runs", type=int, default=10)
+    p.add_argument(
+        "--exhaustive",
+        type=int,
+        default=50,
+        metavar="LIMIT",
+        help="exhaustively enumerated executions per input (0 disables)",
+    )
+    p.add_argument("--max-rounds", type=int, default=2)
+    p.add_argument("--max-steps", type=int, default=100_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--figure7",
+        action="store_true",
+        help="force the Figure 7 synthesis mode (skip the direct-mode search)",
+    )
+    p.add_argument("--no-adversarial", action="store_true")
+    p.add_argument("--no-shrink", action="store_true")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process count for the campaign pool, at least 1 "
+        "(omit for one process per CPU)",
+    )
+    p.add_argument("--json", metavar="FILE", help="write the JSON report")
+    p.set_defaults(fn=cmd_conform)
 
     add_check_parser(sub)
 

@@ -11,6 +11,19 @@ from .full_information import (
     full_information_views,
     make_full_information_factories,
 )
+from .conformance import (
+    ConformanceConfig,
+    ConformanceReport,
+    TaskConformance,
+    ViolationRecord,
+    census_slice,
+    conform_protocol,
+    conform_task,
+    replay_violation,
+    resolve_campaign_task,
+    run_campaign,
+    shrink_schedule,
+)
 from .immediate_snapshot import immediate_snapshot
 from .memory import RegisterArray, SharedMemory, SnapshotObject
 from .protocol_complex import reachable_views_complex, realizes_subdivision
@@ -27,12 +40,16 @@ from .simulation import (
     ValidationReport,
     Violation,
     check_trace,
+    derive_run_seed,
+    participation_simplices,
     run_once,
     validate_protocol,
 )
 from .synthesis import SynthesisError, SynthesizedProtocol, synthesize_protocol
 
 __all__ = [
+    "ConformanceConfig",
+    "ConformanceReport",
     "Execution",
     "ExecutionTrace",
     "RegisterArray",
@@ -41,15 +58,26 @@ __all__ = [
     "SnapshotObject",
     "SynthesisError",
     "SynthesizedProtocol",
+    "TaskConformance",
     "ValidationReport",
     "Violation",
+    "ViolationRecord",
+    "census_slice",
     "check_trace",
     "chromatic_agreement_process",
+    "conform_protocol",
+    "conform_task",
+    "derive_run_seed",
     "explore_schedules",
     "first_completion",
     "full_information_views",
     "immediate_snapshot",
     "make_chromatic_agreement_factories",
+    "participation_simplices",
+    "replay_violation",
+    "resolve_campaign_task",
+    "run_campaign",
+    "shrink_schedule",
     "snapshot_scan",
     "snapshot_update",
     "spread_completion",

@@ -51,6 +51,11 @@ class RegisterArray:
     def snapshot_all(self) -> Tuple[Any, ...]:
         return tuple(self.values)
 
+    def clone(self) -> "RegisterArray":
+        """An independent copy (cell values are shared by reference; the
+        model only ever stores immutable values in registers)."""
+        return RegisterArray(self.n, list(self.values))
+
 
 @dataclass
 class SnapshotObject:
@@ -70,6 +75,10 @@ class SnapshotObject:
 
     def scan(self) -> Tuple[Any, ...]:
         return tuple(self.values)
+
+    def clone(self) -> "SnapshotObject":
+        """An independent copy (slot values are shared by reference)."""
+        return SnapshotObject(self.n, list(self.values))
 
 
 class SharedMemory:
@@ -104,6 +113,19 @@ class SharedMemory:
             return self._objects[name]
         except KeyError as exc:
             raise MemoryError_(f"unknown shared object {name!r}") from exc
+
+    def clone(self) -> "SharedMemory":
+        """A structurally independent copy of every shared object.
+
+        Used by :meth:`repro.runtime.scheduler.Execution.fork` to branch an
+        execution without replaying its memory operations.  Register cells
+        and snapshot slots are copied per object; the *values* inside them
+        are shared by reference, which is sound because protocol code only
+        stores immutable values (vertices, tuples, ints).
+        """
+        copy = SharedMemory(self.n)
+        copy._objects = {name: obj.clone() for name, obj in self._objects.items()}
+        return copy
 
     def object_names(self) -> Tuple[str, ...]:
         return tuple(sorted(self._objects))

@@ -89,6 +89,9 @@ class Execution:
         self._procs: Dict[int, ProcessBody] = dict(processes)
         self._pending: Dict[int, Any] = {}  # next value to send into each generator
         self._started: Dict[int, bool] = {pid: False for pid in processes}
+        # per-process op-result log; deterministic processes are entirely a
+        # function of this sequence, which is what makes :meth:`fork` possible
+        self._results: Dict[int, List[Any]] = {pid: [] for pid in processes}
         self.trace = ExecutionTrace(steps={pid: 0 for pid in processes})
         self.max_steps = max_steps
         self.record_ops = record_ops
@@ -123,12 +126,56 @@ class Execution:
             ) from stop
         result = self._execute(pid, op)
         self._pending[pid] = result
+        self._results[pid].append(result)
         if self.record_ops:
             self.trace.ops.append((pid, op, result))
         if op[0] == "decide":
             self.trace.decisions[pid] = op[1]
             self._procs.pop(pid)
             gen.close()
+
+    def fork(self, factories: Dict[int, ProcessFactory]) -> "Execution":
+        """Branch this execution into an independent copy.
+
+        ``factories`` must be the (deterministic) factories the execution's
+        processes were built from.  Shared memory and the trace are copied
+        structurally; each still-running generator is reconstructed by
+        feeding a fresh generator the recorded op results — no memory
+        operation is re-executed, no scheduling choice is replayed.  The
+        fork and the original then evolve independently: this is what lets
+        the prefix-tree enumerator explore sibling schedules without
+        re-stepping the shared prefix through :meth:`step`.
+        """
+        clone = Execution.__new__(Execution)
+        clone.memory = self.memory.clone()
+        clone.n = self.n
+        clone.max_steps = self.max_steps
+        clone.record_ops = self.record_ops
+        clone._pending = dict(self._pending)
+        clone._started = dict(self._started)
+        clone._results = {pid: list(log) for pid, log in self._results.items()}
+        clone.trace = ExecutionTrace(
+            decisions=dict(self.trace.decisions),
+            steps=dict(self.trace.steps),
+            schedule=list(self.trace.schedule),
+            ops=list(self.trace.ops),
+        )
+        clone._procs = {}
+        for pid in self._procs:
+            gen = factories[pid](pid)
+            results = self._results[pid]
+            if results:
+                try:
+                    gen.send(None)
+                    for value in results[:-1]:
+                        gen.send(value)
+                except StopIteration as stop:
+                    raise SchedulerError(
+                        f"process {pid} is not deterministic: it ended during "
+                        f"fork replay (returned {stop.value!r})"
+                    ) from stop
+            clone._procs[pid] = gen
+        return clone
 
     def _execute(self, pid: int, op: Tuple) -> Any:
         kind = op[0]
@@ -162,10 +209,13 @@ def run_with_schedule(
     schedule: Sequence[int],
     max_steps: int = 100_000,
 ) -> ExecutionTrace:
-    """Replay an explicit schedule; remaining steps run round-robin.
+    """Replay an explicit schedule; remaining steps run true round-robin.
 
     ``schedule`` entries naming finished (or absent) processes are skipped,
-    so schedules are robust to length mismatches.
+    so schedules are robust to length mismatches.  After the explicit
+    prefix is exhausted, every still-running process takes one step per
+    pass, in pid order, until all have decided — an interleaved tail, not
+    solo blocks.
     """
     execution = Execution(
         n, {pid: make(pid) for pid, make in factories.items()}, max_steps=max_steps
@@ -178,7 +228,6 @@ def run_with_schedule(
     while not execution.done():
         for pid in execution.runnable():
             execution.step(pid)
-            break
     return execution.trace
 
 
@@ -205,7 +254,12 @@ def run_solo_blocks(
     order: Sequence[int],
     max_steps: int = 100_000,
 ) -> ExecutionTrace:
-    """Run each process to completion in the given order (sequential runs)."""
+    """Run each process to completion in the given order (sequential runs).
+
+    Processes not named in ``order`` run afterwards in a true round-robin
+    interleaving (one step each per pass), so a partial ``order`` exercises
+    a solo prefix followed by a concurrent tail.
+    """
     execution = Execution(
         n, {pid: make(pid) for pid, make in factories.items()}, max_steps=max_steps
     )
@@ -215,7 +269,6 @@ def run_solo_blocks(
     while not execution.done():
         for pid in execution.runnable():
             execution.step(pid)
-            break
     return execution.trace
 
 
@@ -225,12 +278,64 @@ def explore_schedules(
     max_executions: Optional[int] = None,
     max_steps: int = 10_000,
 ) -> Iterator[ExecutionTrace]:
-    """Exhaustively enumerate interleavings by DFS over scheduler choices.
+    """Exhaustively enumerate interleavings via a prefix-tree DFS.
 
-    Processes must be deterministic (true for everything in this library):
-    each execution replays a prefix of pid choices and explores every
-    runnable extension.  The number of interleavings explodes with step
-    count, so callers cap with ``max_executions``.
+    Processes must be deterministic (true for everything in this library).
+    The enumerator walks the tree of scheduler choices keeping *live*
+    ``Execution`` states along the current path: descending into the last
+    unexplored child of a node consumes the node's execution (one
+    :meth:`Execution.step`), while earlier siblings get an incremental
+    :meth:`Execution.fork` — shared memory is copied structurally and
+    generators are rebuilt from their op-result logs, so the common prefix
+    is never re-stepped through the scheduler.  This replaces a
+    replay-from-scratch DFS that cost O(executions × steps) in re-stepping
+    (kept as :func:`_explore_schedules_replay` for benchmarking).
+
+    Traces are yielded in the same lexicographic (smallest pid first)
+    order as the replay enumerator.  The number of interleavings explodes
+    with step count, so callers cap with ``max_executions``.
+    """
+    count = 0
+    root = Execution(
+        n, {pid: make(pid) for pid, make in factories.items()}, max_steps=max_steps
+    )
+    if root.done():
+        yield root.trace
+        return
+    stack: List[Tuple[Execution, List[int]]] = [(root, list(root.runnable()))]
+    while stack:
+        execution, pending = stack[-1]
+        if not pending:
+            stack.pop()
+            continue
+        pid = pending.pop(0)
+        if pending:
+            child = execution.fork(factories)
+        else:
+            child = execution  # last sibling: consume the node's live state
+            stack.pop()
+        child.step(pid)
+        if child.done():
+            yield child.trace
+            count += 1
+            if max_executions is not None and count >= max_executions:
+                return
+        else:
+            stack.append((child, list(child.runnable())))
+
+
+def _explore_schedules_replay(
+    n: int,
+    factories: Dict[int, ProcessFactory],
+    max_executions: Optional[int] = None,
+    max_steps: int = 10_000,
+) -> Iterator[ExecutionTrace]:
+    """The original replay-from-scratch DFS enumerator.
+
+    Re-steps every prefix through a fresh :class:`Execution` for each node
+    it visits.  Kept only as the baseline that
+    ``benchmarks/bench_conformance.py`` measures :func:`explore_schedules`
+    against; both enumerate the same traces in the same order.
     """
     count = 0
     stack: List[List[int]] = [[]]

@@ -14,6 +14,7 @@ face of every input facet), and checks the task's correctness conditions:
 from __future__ import annotations
 
 import itertools
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Generator, List, Optional, Tuple
 
@@ -85,7 +86,31 @@ def check_trace(task: Task, inputs: Simplex, trace: ExecutionTrace) -> Optional[
     return None
 
 
-def _participation_simplices(task: Task, participation: str) -> Tuple[Simplex, ...]:
+def _simplex_key(inputs: Simplex) -> int:
+    """A stable (cross-process, hash-seed independent) key for a simplex."""
+    payload = ";".join(
+        f"{v.color}:{v.value!r}"
+        for v in sorted(inputs.vertices, key=lambda v: (v.color, repr(v.value)))
+    )
+    return zlib.crc32(payload.encode("utf-8", "backslashreplace"))
+
+
+def derive_run_seed(seed: int, inputs: Simplex, k: int) -> int:
+    """Derive the RNG seed for random run ``k`` on input simplex ``inputs``.
+
+    Both the input simplex and the run index are mixed in, so different
+    inputs exercise different schedule sets even under the default
+    ``seed=0`` (the old ``seed * 7919 + k`` collapsed to ``k`` there,
+    replaying one identical schedule set for every input).  The simplex
+    key is content-derived and hash-seed independent, so the same seeds
+    are drawn in every process of a conformance campaign pool.
+    """
+    return (seed * 0x9E3779B1 + _simplex_key(inputs)) * 0x85EBCA77 + k
+
+
+def participation_simplices(task: Task, participation: str) -> Tuple[Simplex, ...]:
+    """The deterministic participation order for a validation campaign:
+    ``"facets"`` (full participation only) or ``"all"`` faces."""
     if participation == "facets":
         return task.input_complex.facets
     if participation == "all":
@@ -112,7 +137,7 @@ def validate_protocol(
     battery of :mod:`repro.runtime.adversary`.
     """
     report = ValidationReport()
-    for inputs in _participation_simplices(task, participation):
+    for inputs in participation_simplices(task, participation):
         n = max(inputs.colors()) + 1
 
         def record(trace: ExecutionTrace) -> None:
@@ -133,10 +158,17 @@ def validate_protocol(
             factories = build(inputs)
             record(run_solo_blocks(n, factories, order, max_steps=max_steps))
 
-        # seeded random schedules
+        # seeded random schedules (seed mixed per input simplex and run)
         for k in range(random_runs):
             factories = build(inputs)
-            record(run_random(n, factories, seed=seed * 7919 + k, max_steps=max_steps))
+            record(
+                run_random(
+                    n,
+                    factories,
+                    seed=derive_run_seed(seed, inputs, k),
+                    max_steps=max_steps,
+                )
+            )
 
         # targeted adversarial schedules
         if adversarial:

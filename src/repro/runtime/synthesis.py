@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Generator, Optional
 
 from ..solvability.decision import SolvabilityVerdict, Status, decide_solvability
-from ..solvability.map_search import find_map
+from ..solvability.map_search import SearchBudgetExceeded, find_map
 from ..tasks.task import Task
 from ..topology.maps import SimplicialMap
 from ..topology.simplex import Simplex, Vertex
@@ -35,11 +35,28 @@ class SynthesisError(RuntimeError):
     """Raised when no executable protocol can be synthesized."""
 
 
-def _map_decision(inner: Generator, project: Callable[[Vertex], Vertex]) -> Generator:
-    """Wrap a process generator, projecting the final decision value."""
+def _map_decision(
+    inner: Generator, project: Callable[[Vertex], Vertex], pid: Optional[int] = None
+) -> Generator:
+    """Wrap a process generator, projecting the final decision value.
+
+    An inner generator that ends without a ``("decide", …)`` op would — via
+    PEP 479 — surface as an opaque ``RuntimeError: generator raised
+    StopIteration``; translate it to a :class:`SynthesisError` carrying the
+    process id and the tail of its op log instead.
+    """
     result = None
+    ops: list = []
     while True:
-        op = inner.send(result)
+        try:
+            op = inner.send(result)
+        except StopIteration as stop:
+            raise SynthesisError(
+                f"process {pid}: inner protocol ended (returned {stop.value!r}) "
+                f"without a ('decide', …) op after {len(ops)} ops; "
+                f"last ops: {ops[-5:]!r}"
+            ) from stop
+        ops.append(op)
         if op[0] == "decide":
             yield ("decide", project(op[1]))
             return
@@ -60,6 +77,9 @@ class SynthesizedProtocol:
     rounds: int
     verdict: SolvabilityVerdict
     _build: Callable[[Simplex], Dict[int, Callable[[int], Generator]]]
+    #: why the direct mode was not used (``None`` for direct protocols):
+    #: either "no chromatic witness up to r=…" or a search-budget message
+    fallback_reason: Optional[str] = None
 
     def factories(self, inputs: Simplex) -> Dict[int, Callable[[int], Generator]]:
         if inputs not in self.task.input_complex:
@@ -112,13 +132,20 @@ def synthesize_protocol(
         )
     n = task.n_processes
 
+    fallback_reason: Optional[str] = None
     if prefer_direct:
+        # only a blown search budget is a legitimate reason to fall back;
+        # any other exception is a genuine bug and must propagate
         for r in range(max_rounds + 1):
             sub = iterated_chromatic_subdivision(task.input_complex, r)
             try:
                 f = find_map(sub, task.delta, chromatic=True, max_nodes=max_nodes)
-            except Exception:
-                f = None
+            except SearchBudgetExceeded as exc:
+                fallback_reason = (
+                    f"chromatic witness search exceeded its budget at r={r}: {exc}"
+                )
+                verdict.stats[f"direct_search_r{r}_budget_exceeded"] = 1.0
+                break  # deeper subdivisions are strictly larger searches
             if f is not None:
                 return SynthesizedProtocol(
                     task=task,
@@ -127,6 +154,10 @@ def synthesize_protocol(
                     verdict=verdict,
                     _build=_direct_protocol(task, f, r, n),
                 )
+        if fallback_reason is None:
+            fallback_reason = f"no chromatic witness up to r={max_rounds}"
+    else:
+        fallback_reason = "direct mode disabled (prefer_direct=False)"
 
     if n != 3:
         raise SynthesisError(
@@ -153,7 +184,7 @@ def synthesize_protocol(
 
         def project_factory(factory):
             def wrapped(pid: int) -> Generator:
-                return _map_decision(factory(pid), transform.project_vertex)
+                return _map_decision(factory(pid), transform.project_vertex, pid=pid)
 
             return wrapped
 
@@ -165,4 +196,5 @@ def synthesize_protocol(
         rounds=rounds,
         verdict=verdict,
         _build=build,
+        fallback_reason=fallback_reason,
     )

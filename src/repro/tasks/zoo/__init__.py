@@ -46,6 +46,38 @@ from .synthetic import fan_task
 from .test_and_set import test_and_set_task
 from .two_process import path_task, two_process_fork_task
 
+
+def standard_zoo():
+    """Name → zero-argument constructor for every addressable zoo task.
+
+    This is the single registry behind the ``python -m repro`` CLI and the
+    conformance campaign engine: workers in a multiprocessing pool receive
+    task *names* and reconstruct the tasks locally through this function,
+    so no task object ever crosses a process boundary.
+    """
+    return {
+        "identity": lambda: identity_task(3),
+        "constant": lambda: constant_task(3),
+        "consensus": lambda: consensus_task(3),
+        "consensus-2p": lambda: consensus_task(2),
+        "2-set-agreement": lambda: inputless_set_agreement_task(3, 2),
+        "3-set-agreement": lambda: set_agreement_task(3, 3),
+        "majority": majority_consensus_task,
+        "hourglass": hourglass_task,
+        "pinwheel": pinwheel_task,
+        "figure3": figure3_task,
+        "loop-filled": lambda: loop_agreement_task(triangle_loop(True)),
+        "loop-hollow": lambda: loop_agreement_task(triangle_loop(False)),
+        "loop-projective": lambda: loop_agreement_task(projective_plane_loop()),
+        "approx-agreement": lambda: approximate_agreement_task(2),
+        "path": lambda: path_task(3),
+        "fork": two_process_fork_task,
+        "test-and-set": lambda: test_and_set_task(3),
+        "fan": lambda: fan_task(2, 2),
+        "twisted-fan": lambda: fan_task(2, 2, twisted=True),
+    }
+
+
 __all__ = [
     "HOURGLASS_TRIANGLES",
     "approximate_agreement_task",
@@ -74,6 +106,7 @@ __all__ = [
     "random_sparse_task",
     "set_agreement_task",
     "simplex_values",
+    "standard_zoo",
     "test_and_set_task",
     "single_facet_input",
     "triangle_loop",

@@ -71,6 +71,76 @@ class TestBattery:
             assert set(trace.decisions) == {0, 1, 2}
 
 
+class TestBatteryDeterminism:
+    def test_standard_battery_names_stable(self):
+        first = [name for name, _ in standard_battery([0, 1, 2])]
+        second = [name for name, _ in standard_battery([0, 1, 2])]
+        assert first == second
+
+    def test_standard_battery_order_independent_of_pid_order(self):
+        assert [n for n, _ in standard_battery([2, 0, 1])] == [
+            n for n, _ in standard_battery([0, 1, 2])
+        ]
+
+    def test_sweep_is_deterministic(self):
+        def run_sweep():
+            return {
+                name: tuple(trace.schedule)
+                for name, trace in adversarial_sweep(
+                    3, lambda: echo_factories(3), [0, 1, 2]
+                )
+            }
+
+        assert run_sweep() == run_sweep()
+
+
+class TestStuttererPeriod:
+    def test_slow_process_moves_only_on_period_boundaries(self):
+        period = 4
+        trace = run_adversarial(3, echo_factories(3), stutterer(0, period=period))
+        # while other processes are live, the slow one moves only at global
+        # steps s with s % period == period - 1
+        last_other = max(i for i, pid in enumerate(trace.schedule) if pid != 0)
+        for i, pid in enumerate(trace.schedule[: last_other + 1]):
+            if pid == 0:
+                assert i % period == period - 1
+
+    def test_period_controls_first_move(self):
+        for period in (2, 3, 5):
+            trace = run_adversarial(3, echo_factories(3), stutterer(0, period=period))
+            assert trace.schedule.index(0) == period - 1
+
+    def test_slow_process_still_decides(self):
+        trace = run_adversarial(3, echo_factories(3), stutterer(1, period=7))
+        assert set(trace.decisions) == {0, 1, 2}
+
+
+class TestOutsideDeltaViolationMessage:
+    def test_correctly_colored_simplex_outside_delta(self, identity3):
+        """Decisions that form a legal, correctly-colored output simplex
+        which is *not* in Δ(τ) must trip the Δ-membership message."""
+        sigma = identity3.input_complex.facets[0]
+        other = next(
+            tau for tau in identity3.input_complex.facets if tau != sigma
+        )
+        wrong = {v.color: v for v in other.vertices}  # own colors, wrong facet
+
+        def build(pid):
+            def body():
+                yield ("write", "R", pid)
+                yield ("decide", wrong[pid])
+
+            return body()
+
+        trace = run_adversarial(
+            3, {pid: build for pid in range(3)}, alternator((0, 2))
+        )
+        reason = check_trace(identity3, sigma, trace)
+        assert reason is not None
+        assert "are not in Δ" in reason
+        assert repr(sigma) in reason
+
+
 class TestProtocolUnderAdversaries:
     def test_synthesized_protocol_survives_battery(self):
         from repro import synthesize_protocol

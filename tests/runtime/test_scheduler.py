@@ -5,6 +5,7 @@ import pytest
 from repro.runtime.scheduler import (
     Execution,
     SchedulerError,
+    _explore_schedules_replay,
     explore_schedules,
     run_random,
     run_solo_blocks,
@@ -165,6 +166,94 @@ class TestRunners:
         assert trace.total_steps() == 6  # 3 ops per process
 
 
+class TestRoundRobinTail:
+    """Regression: the tail loops claimed round-robin but ran leftover
+    processes as solo blocks in pid order (``for … break`` re-entered from
+    the lowest pid every iteration)."""
+
+    def test_run_with_schedule_tail_interleaves(self):
+        trace = run_with_schedule(
+            2, {0: writer_reader_factory, 1: writer_reader_factory}, schedule=[]
+        )
+        # one step per live process per pass, in pid order
+        assert trace.schedule == [0, 1, 0, 1, 0, 1]
+        # under the interleaved tail both writes land before either read
+        assert trace.decisions[0] == "hello-1"
+        assert trace.decisions[1] == "hello-0"
+
+    def test_run_with_schedule_tail_after_partial_prefix(self):
+        trace = run_with_schedule(
+            2, {0: writer_reader_factory, 1: writer_reader_factory}, schedule=[1]
+        )
+        assert trace.schedule == [1, 0, 1, 0, 1, 0]
+
+    def test_run_solo_blocks_partial_order_tail_interleaves(self):
+        def factory3(pid):
+            def body():
+                yield ("write", "R", f"hello-{pid}")
+                other = yield ("read", "R", (pid + 1) % 3)
+                yield ("decide", other)
+
+            return body()
+
+        trace = run_solo_blocks(3, {pid: factory3 for pid in range(3)}, order=[2])
+        # process 2 runs solo, then 0 and 1 alternate step for step
+        assert trace.schedule == [2, 2, 2, 0, 1, 0, 1, 0, 1]
+
+    def test_full_order_unchanged(self):
+        trace = run_solo_blocks(
+            2, {0: writer_reader_factory, 1: writer_reader_factory}, order=[0, 1]
+        )
+        assert trace.schedule == [0, 0, 0, 1, 1, 1]
+
+
+class TestFork:
+    def test_fork_is_independent(self):
+        ex = Execution(2, {0: writer_reader_factory(0), 1: writer_reader_factory(1)})
+        ex.step(0)  # 0 writes
+        factories = {0: writer_reader_factory, 1: writer_reader_factory}
+        fork = ex.fork(factories)
+        # diverge: original runs 0 solo first, fork runs 1 solo first
+        while 0 in ex.runnable():
+            ex.step(0)
+        while not ex.done():
+            ex.step(ex.runnable()[0])
+        while 1 in fork.runnable():
+            fork.step(1)
+        while not fork.done():
+            fork.step(fork.runnable()[0])
+        assert ex.trace.decisions == {0: None, 1: "hello-0"}
+        assert fork.trace.decisions == {0: "hello-1", 1: "hello-0"}
+
+    def test_fork_memory_is_isolated(self):
+        ex = Execution(2, {0: writer_reader_factory(0), 1: writer_reader_factory(1)})
+        ex.step(0)
+        fork = ex.fork({0: writer_reader_factory, 1: writer_reader_factory})
+        ex.memory.register_array("R").write(1, "corrupted")
+        assert fork.memory.register_array("R").read(1) is None
+
+    def test_fork_preserves_trace_prefix(self):
+        ex = Execution(2, {0: writer_reader_factory(0), 1: writer_reader_factory(1)})
+        ex.step(0)
+        ex.step(1)
+        fork = ex.fork({0: writer_reader_factory, 1: writer_reader_factory})
+        assert fork.trace.schedule == [0, 1]
+        assert fork.trace.steps == {0: 1, 1: 1}
+
+    def test_fork_equivalent_to_replay(self):
+        """A fork continued on a schedule matches a from-scratch run."""
+        factories = {0: writer_reader_factory, 1: writer_reader_factory}
+        ex = Execution(2, {pid: f(pid) for pid, f in factories.items()})
+        for pid in [0, 1, 0]:
+            ex.step(pid)
+        fork = ex.fork(factories)
+        for pid in [1, 1, 0]:
+            fork.step(pid)
+        reference = run_with_schedule(2, factories, [0, 1, 0, 1, 1, 0])
+        assert fork.trace.decisions == reference.decisions
+        assert fork.trace.schedule == reference.schedule
+
+
 class TestExploreSchedules:
     def test_enumerates_all_interleavings(self):
         # two processes with 2 ops each (write + decide): C(4,2)/..., the
@@ -192,3 +281,35 @@ class TestExploreSchedules:
             )
         )
         assert len(traces) == 5
+
+    def test_prefix_tree_matches_replay_enumerator(self):
+        """The prefix-tree enumerator yields exactly the traces of the old
+        replay-from-scratch DFS, in the same lexicographic order."""
+        factories = {0: writer_reader_factory, 1: writer_reader_factory}
+        fast = list(explore_schedules(2, factories))
+        slow = list(_explore_schedules_replay(2, factories))
+        assert [t.schedule for t in fast] == [t.schedule for t in slow]
+        assert [t.decisions for t in fast] == [t.decisions for t in slow]
+
+    def test_prefix_tree_matches_replay_under_cap(self):
+        factories = {0: writer_reader_factory, 1: writer_reader_factory}
+        fast = list(explore_schedules(2, factories, max_executions=7))
+        slow = list(_explore_schedules_replay(2, factories, max_executions=7))
+        assert [t.schedule for t in fast] == [t.schedule for t in slow]
+
+    def test_three_process_enumeration_counts_match(self):
+        def tiny(pid):
+            def body():
+                yield ("write", "R", pid)
+                yield ("decide", pid)
+
+            return body()
+
+        factories = {pid: tiny for pid in range(3)}
+        fast = list(explore_schedules(3, factories))
+        slow = list(_explore_schedules_replay(3, factories))
+        # interleavings of three 2-step processes: 6!/(2!2!2!) = 90
+        assert len(fast) == len(slow) == 90
+        assert {tuple(t.schedule) for t in fast} == {
+            tuple(t.schedule) for t in slow
+        }

@@ -2,13 +2,15 @@
 
 import pytest
 
+import repro.runtime.simulation as simulation
 from repro.runtime.simulation import (
     ValidationReport,
     check_trace,
+    derive_run_seed,
     run_once,
     validate_protocol,
 )
-from repro.runtime.scheduler import ExecutionTrace
+from repro.runtime.scheduler import ExecutionTrace, run_random
 from repro.tasks.zoo import identity_task
 from repro.topology.simplex import Simplex, Vertex
 
@@ -135,6 +137,68 @@ class TestValidateProtocol:
 
     def test_report_repr(self):
         assert "0 runs" in repr(ValidationReport())
+
+
+class TestSeedMixing:
+    """Regression: ``seed * 7919 + k`` collapsed to ``k`` under the default
+    ``seed=0``, so every input simplex replayed one identical schedule set."""
+
+    def test_run_seed_varies_across_inputs(self, identity3):
+        facets = identity3.input_complex.facets
+        for k in range(5):
+            seeds = {derive_run_seed(0, sigma, k) for sigma in facets}
+            assert len(seeds) == len(facets)
+
+    def test_run_seed_varies_across_run_index(self, identity3):
+        sigma = identity3.input_complex.facets[0]
+        assert len({derive_run_seed(0, sigma, k) for k in range(20)}) == 20
+
+    def test_run_seed_deterministic(self, identity3):
+        sigma = identity3.input_complex.facets[0]
+        assert derive_run_seed(3, sigma, 7) == derive_run_seed(3, sigma, 7)
+
+    def test_validate_protocol_draws_distinct_seeds_per_input(
+        self, identity3, monkeypatch
+    ):
+        seen = {}
+
+        def recording_run_random(n, factories, seed, max_steps=100_000):
+            seen.setdefault(seed, 0)
+            seen[seed] += 1
+            return run_random(n, factories, seed, max_steps=max_steps)
+
+        monkeypatch.setattr(simulation, "run_random", recording_run_random)
+        validate_protocol(
+            identity3,
+            correct_builder(identity3),
+            participation="facets",
+            random_runs=4,
+        )
+        n_facets = len(identity3.input_complex.facets)
+        # pre-fix, all facets shared the seeds {0,1,2,3}: only 4 distinct
+        assert len(seen) == 4 * n_facets
+        assert all(count == 1 for count in seen.values())
+
+    def test_schedule_diversity_across_inputs(self, identity3):
+        """Distinct per-input seeds must yield distinct random schedules."""
+        facets = identity3.input_complex.facets
+
+        def slow_factory(pid):
+            def body():
+                for _ in range(6):
+                    yield ("scan", "S")
+                yield ("decide", pid)
+
+            return body()
+
+        factories = {pid: slow_factory for pid in range(3)}
+        schedules = {
+            tuple(
+                run_random(3, factories, seed=derive_run_seed(0, sigma, 0)).schedule
+            )
+            for sigma in facets
+        }
+        assert len(schedules) > 1
 
 
 class TestImpossibilityIsObservable:
