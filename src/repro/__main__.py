@@ -21,14 +21,36 @@ Commands
 ``check``
     Statically verify task invariants (stable ``RCxxx`` diagnostics, with
     witnesses), or lint the library sources themselves (``--self``).
+``decide``
+    Run just the solvability decision on one task and print the verdict
+    with its certificate (obstruction kind or witness depth).
+``trace``
+    Work with ``repro-trace/1`` JSON exports produced by ``--trace``:
+    ``trace summary`` pretty-prints the span tree and aggregate counters,
+    ``trace validate`` schema-checks one or more files (for CI).
+
+Exit codes
+----------
+
+Every command follows the same convention:
+
+* ``0`` — success: the command completed and the answer is definitive
+  (task decided, campaign clean, report valid).
+* ``1`` — failure: violations found, synthesis failed, check findings,
+  or an invalid/unreadable input file.
+* ``2`` — inconclusive (the decision procedure returned ``UNKNOWN``
+  within its budgets), or a usage error (argparse).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from typing import Callable, Dict
+
+from . import obs
 
 from .analysis import (
     analyze_task,
@@ -46,7 +68,7 @@ from .runtime.conformance import (
     census_slice,
     run_campaign,
 )
-from .solvability import Status
+from .solvability import Status, decide_solvability
 from .splitting import link_connected_form
 from .tasks.task import Task
 from .tasks import zoo
@@ -65,6 +87,79 @@ def _resolve_task(spec: str) -> Task:
     raise SystemExit(
         f"unknown task {spec!r}; use one of {', '.join(sorted(ZOO))} or a .json file"
     )
+
+
+@contextlib.contextmanager
+def _tracing_to(path, command: str):
+    """Trace the wrapped command into ``path`` (no-op when ``path`` is None).
+
+    Resets the session recorder so the export covers exactly this
+    command, enables tracing for its duration, and writes the
+    schema-validated ``repro-trace/1`` JSON on the way out — including
+    when the command fails, so a crashing run still leaves its trace.
+    """
+    if not path:
+        yield
+        return
+    obs.reset_recorder()
+    previous = obs.tracing_enabled()
+    obs.set_tracing(True)
+    try:
+        yield
+    finally:
+        obs.set_tracing(previous)
+        obs.write_trace(path, meta={"command": command})
+        print(f"wrote {path}")
+
+
+def cmd_decide(args) -> int:
+    task = _resolve_task(args.task)
+    with _tracing_to(args.trace, f"decide {args.task}"):
+        verdict = decide_solvability(task, max_rounds=args.max_rounds)
+    print(f"task:    {task.name or args.task}")
+    print(f"status:  {verdict.status.value}")
+    if verdict.status is Status.UNSOLVABLE:
+        print(f"certificate: obstruction {verdict.obstruction.kind}")
+        print(f"  {verdict.obstruction.detail}")
+    elif verdict.status is Status.SOLVABLE:
+        print(f"certificate: witness map at r={verdict.witness_rounds}")
+    else:
+        print("certificate: none (budgets exhausted)")
+    for key in sorted(verdict.stats):
+        print(f"  stats.{key} = {verdict.stats[key]}")
+    return 0 if verdict.status is not Status.UNKNOWN else 2
+
+
+def _load_trace(path: str):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh), []
+    except (OSError, ValueError) as exc:
+        return None, [f"{path}: cannot read trace: {exc}"]
+
+
+def cmd_trace(args) -> int:
+    if args.action == "summary":
+        payload, problems = _load_trace(args.files[0])
+        problems.extend(obs.validate_trace(payload) if payload is not None else [])
+        if problems:
+            for problem in problems:
+                print(f"invalid trace: {problem}", file=sys.stderr)
+            return 1
+        print(obs.format_trace_summary(payload, max_depth=args.max_depth))
+        return 0
+    failures = 0
+    for path in args.files:
+        payload, problems = _load_trace(path)
+        if payload is not None:
+            problems.extend(obs.validate_trace(payload))
+        if problems:
+            failures += 1
+            for problem in problems:
+                print(f"{path}: {problem}", file=sys.stderr)
+        else:
+            print(f"{path}: valid {obs.SCHEMA}")
+    return 1 if failures else 0
 
 
 def cmd_list(_args) -> int:
@@ -148,17 +243,18 @@ def cmd_census(args) -> int:
             f"--workers must be at least 1 (got {args.workers}); omit the flag "
             "to use one process per CPU"
         )
-    if args.workers is not None and args.workers != 1:
-        runner = parallel_sparse_census if args.sparse else parallel_census
-        census = runner(
-            range(args.seeds),
-            max_rounds=args.max_rounds,
-            workers=args.workers,
-            chunksize=args.chunksize,
-        )
-    else:
-        runner = sparse_census if args.sparse else run_census
-        census = runner(range(args.seeds), max_rounds=args.max_rounds)
+    with _tracing_to(args.trace, f"census --seeds {args.seeds}"):
+        if args.workers is not None and args.workers != 1:
+            runner = parallel_sparse_census if args.sparse else parallel_census
+            census = runner(
+                range(args.seeds),
+                max_rounds=args.max_rounds,
+                workers=args.workers,
+                chunksize=args.chunksize,
+            )
+        else:
+            runner = sparse_census if args.sparse else run_census
+            census = runner(range(args.seeds), max_rounds=args.max_rounds)
     print(f"population: {census.population}")
     print(f"solvable:   {census.solvable}")
     print(f"unsolvable: {census.unsolvable}")
@@ -195,7 +291,8 @@ def cmd_conform(args) -> int:
         prefer_direct=not args.figure7,
         shrink=not args.no_shrink,
     )
-    report = run_campaign(names, config, workers=args.workers)
+    with _tracing_to(args.trace, f"conform {','.join(names)}"):
+        report = run_campaign(names, config, workers=args.workers)
     width = max(len(t.name) for t in report.tasks)
     for t in report.tasks:
         if t.status == "solvable":
@@ -230,6 +327,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Three-process task solvability: the PODC'25 characterization.",
+        epilog=(
+            "exit codes: 0 success / definitive answer; 1 failure "
+            "(violations, synthesis failure, check findings, invalid input); "
+            "2 inconclusive (UNKNOWN verdict) or usage error"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -249,6 +351,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", metavar="FILE", help="write a JSON summary")
     p.add_argument("--save-split", metavar="FILE", help="save the split task")
     p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser(
+        "decide",
+        help="run just the solvability decision on a task "
+        "(exit 0 decided, 2 UNKNOWN)",
+    )
+    p.add_argument("task", help="zoo name or task JSON file")
+    p.add_argument("--max-rounds", type=int, default=2)
+    p.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="export a repro-trace/1 JSON span/counter trace of the decision",
+    )
+    p.set_defaults(fn=cmd_decide)
+
+    p = sub.add_parser(
+        "trace",
+        help="summarize or validate repro-trace/1 JSON exports",
+    )
+    p.add_argument(
+        "action",
+        choices=["summary", "validate"],
+        help="'summary' pretty-prints one trace; 'validate' schema-checks "
+        "each file (exit 1 on any invalid trace)",
+    )
+    p.add_argument("files", nargs="+", metavar="FILE")
+    p.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        help="truncate the span tree below this depth (summary only)",
+    )
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("synthesize", help="synthesize and validate a protocol")
     p.add_argument("task")
@@ -271,6 +406,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--chunksize", type=int, default=8, help="seeds per work item (at least 1)"
+    )
+    p.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="export a repro-trace/1 JSON trace (aggregates worker caches)",
     )
     p.set_defaults(fn=cmd_census)
 
@@ -327,6 +467,11 @@ def build_parser() -> argparse.ArgumentParser:
         "(omit for one process per CPU)",
     )
     p.add_argument("--json", metavar="FILE", help="write the JSON report")
+    p.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="export a repro-trace/1 JSON trace (aggregates worker caches)",
+    )
     p.set_defaults(fn=cmd_conform)
 
     add_check_parser(sub)

@@ -14,6 +14,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from ..obs import annotate, counter_add, span
 from ..solvability.decision import Status, decide_solvability
 from ..tasks.task import Task
 from ..tasks.zoo.random_tasks import random_single_input_task, random_sparse_task
@@ -103,9 +104,12 @@ def run_census(
 ) -> Census:
     """Decide every generated task and aggregate the outcomes."""
     census = Census()
-    for seed in seeds:
-        task = generator(seed)
-        census.add(decide_solvability(task, max_rounds=max_rounds))
+    with span("census") as census_span:
+        for seed in seeds:
+            task = generator(seed)
+            census.add(decide_solvability(task, max_rounds=max_rounds))
+            counter_add("census.tasks")
+        annotate(census_span, population=census.population)
     return census
 
 

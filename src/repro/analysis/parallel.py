@@ -24,8 +24,9 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..obs import capture_worker, merge_worker_snapshot, tracing_enabled
 from ..tasks.task import Task
 from ..tasks.zoo.random_tasks import random_single_input_task, random_sparse_task
 from .census import Census, run_census
@@ -40,10 +41,21 @@ def _chunks(seeds: Sequence[int], chunksize: int) -> List[Sequence[int]]:
     return [seeds[i : i + chunksize] for i in range(0, len(seeds), chunksize)]
 
 
-def _census_chunk(args) -> Census:
-    """Worker entry point: decide one chunk of seeds, return its census."""
-    generator, seeds, max_rounds = args
-    return run_census(seeds, generator=generator, max_rounds=max_rounds)
+def _census_chunk(args) -> Tuple[Census, Optional[Dict[str, Any]]]:
+    """Worker entry point: decide one chunk of seeds, return its census.
+
+    When the dispatching parent had tracing enabled, the chunk runs under
+    :func:`repro.obs.capture_worker` and the second element carries the
+    worker's span/counter/cache snapshot back for aggregation — without
+    it, every cache hit and search counter accumulated in the worker
+    would vanish with the process.
+    """
+    generator, seeds, max_rounds, trace = args
+    if not trace:
+        return run_census(seeds, generator=generator, max_rounds=max_rounds), None
+    with capture_worker() as capture:
+        census = run_census(seeds, generator=generator, max_rounds=max_rounds)
+    return census, capture.snapshot
 
 
 def parallel_census(
@@ -76,6 +88,12 @@ def parallel_census(
 
     Returns the same aggregates :func:`~repro.analysis.census.run_census`
     would produce for ``seeds`` — scheduling cannot leak into the result.
+
+    When tracing is enabled (:mod:`repro.obs`), each chunk additionally
+    returns the worker's span/counter/cache snapshot and the parent
+    merges them, so the exported trace reports *aggregate* cache hit
+    rates across every process (equal to the ``workers=1`` aggregates on
+    the same workload).
     """
     seed_list = list(seeds)
     if chunksize < 1:
@@ -89,8 +107,10 @@ def parallel_census(
     if n_workers <= 1 or len(seed_list) <= 1:
         return run_census(seed_list, generator=generator, max_rounds=max_rounds)
 
+    trace = tracing_enabled()
     jobs = [
-        (generator, chunk, max_rounds) for chunk in _chunks(seed_list, chunksize)
+        (generator, chunk, max_rounds, trace)
+        for chunk in _chunks(seed_list, chunksize)
     ]
     n_workers = min(n_workers, len(jobs))
     ctx = (
@@ -100,8 +120,10 @@ def parallel_census(
     )
     merged = Census()
     with ctx.Pool(processes=n_workers) as pool:
-        for part in pool.imap_unordered(_census_chunk, jobs):
+        for part, snapshot in pool.imap_unordered(_census_chunk, jobs):
             merged.merge(part)
+            if snapshot is not None:
+                merge_worker_snapshot(snapshot)
     return merged
 
 

@@ -1,0 +1,64 @@
+"""repro.obs — structured tracing and metrics for the decision pipeline.
+
+Hierarchical spans with wall/CPU timings, monotonic counters, gauges, a
+per-process recorder, cross-process aggregation of worker snapshots, and
+a schema-validated JSON export (``repro-trace/1``).  See
+``docs/observability.md`` for the span model and the trace schema, and
+``python -m repro trace summary`` for the pretty-printer.
+
+Typical use::
+
+    from repro import obs
+
+    obs.reset_recorder()
+    with obs.tracing():
+        verdict = decide_solvability(task)      # records the span tree
+    payload = obs.write_trace("trace.json", meta={"command": "decide"})
+
+Tracing is off by default; instrumented hot paths cost one branch per
+call site while disabled (same pattern as
+:func:`repro.topology.cache.set_caching`).
+"""
+
+from .export import SCHEMA, build_trace, validate_trace, write_trace
+from .recorder import (
+    Recorder,
+    SpanRecord,
+    WorkerCapture,
+    annotate,
+    capture_worker,
+    counter_add,
+    gauge_set,
+    get_recorder,
+    merge_cache_maps,
+    merge_worker_snapshot,
+    reset_recorder,
+    set_tracing,
+    span,
+    tracing,
+    tracing_enabled,
+)
+from .summary import format_trace_summary
+
+__all__ = [
+    "Recorder",
+    "SCHEMA",
+    "SpanRecord",
+    "WorkerCapture",
+    "annotate",
+    "build_trace",
+    "capture_worker",
+    "counter_add",
+    "format_trace_summary",
+    "gauge_set",
+    "get_recorder",
+    "merge_cache_maps",
+    "merge_worker_snapshot",
+    "reset_recorder",
+    "set_tracing",
+    "span",
+    "tracing",
+    "tracing_enabled",
+    "validate_trace",
+    "write_trace",
+]

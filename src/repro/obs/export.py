@@ -1,0 +1,235 @@
+"""Schema-validated JSON export of a trace (``repro-trace/1``).
+
+Modeled on :mod:`repro.perf`'s ``repro-perf/1`` report: a fixed schema
+identifier, host context from :func:`repro.perf.machine_info`, and a
+dependency-free :func:`validate_trace` strict enough that the CI smoke
+job catches format drift.  A trace payload carries:
+
+* ``spans`` — the parent process's span forest (recursive records with
+  ``wall_seconds`` / ``cpu_seconds`` / ``attrs`` / ``children``);
+* ``counters`` / ``gauges`` — the parent's metrics;
+* ``cache`` — the parent's memoization activity since its recorder was
+  created (per query: hits, misses, hit rate);
+* ``workers`` — one snapshot per merged pool work item (same shape,
+  plus a ``worker`` pid), preserving per-worker timing skew;
+* ``aggregate`` — counters and cache stats summed across the parent and
+  every worker snapshot.  This is the cross-process view the parallel
+  engines previously could not report; :func:`validate_trace` recomputes
+  the sums, so a report whose aggregate drifted from its parts fails
+  validation.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+from .recorder import Recorder, get_recorder, merge_cache_maps
+
+#: Trace format identifier; bump the suffix on breaking changes.
+SCHEMA = "repro-trace/1"
+
+
+def build_trace(
+    recorder: Optional[Recorder] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Serialize a recorder (default: the process recorder) to a payload."""
+    # imported lazily to keep repro.obs import-light for instrumented modules
+    from ..perf import machine_info
+
+    recorder = recorder if recorder is not None else get_recorder()
+    return {
+        "schema": SCHEMA,
+        "created_unix": time.time(),
+        "machine": machine_info(),
+        "meta": dict(meta or {}),
+        "spans": [root.as_dict() for root in recorder.roots],
+        "counters": dict(recorder.counters),
+        "gauges": dict(recorder.gauges),
+        "cache": recorder.own_cache(),
+        "workers": [dict(snap) for snap in recorder.worker_snapshots],
+        "aggregate": {
+            "counters": recorder.aggregate_counters(),
+            "cache": recorder.aggregate_cache(),
+        },
+    }
+
+
+def write_trace(
+    path: str,
+    recorder: Optional[Recorder] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Validate and write a trace JSON file; returns the payload."""
+    payload = build_trace(recorder, meta=meta)
+    errors = validate_trace(payload)
+    if errors:
+        raise ValueError(f"invalid trace: {errors}")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return payload
+
+
+def _validate_span(span: Any, where: str, errors: List[str]) -> None:
+    if not isinstance(span, dict):
+        errors.append(f"{where} must be an object")
+        return
+    name = span.get("name")
+    if not (isinstance(name, str) and name):
+        errors.append(f"{where}.name must be a non-empty string")
+    for field in ("start_unix", "wall_seconds", "cpu_seconds"):
+        value = span.get(field)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            errors.append(f"{where}.{field} must be a number")
+        elif field != "start_unix" and value < 0:
+            errors.append(f"{where}.{field} must be non-negative")
+    if not isinstance(span.get("attrs"), dict):
+        errors.append(f"{where}.attrs must be an object")
+    children = span.get("children")
+    if not isinstance(children, list):
+        errors.append(f"{where}.children must be a list")
+        return
+    for i, child in enumerate(children):
+        _validate_span(child, f"{where}.children[{i}]", errors)
+
+
+def _validate_numeric_map(value: Any, where: str, errors: List[str]) -> bool:
+    if not isinstance(value, dict):
+        errors.append(f"{where} must be an object")
+        return False
+    ok = True
+    for key, item in value.items():
+        if not isinstance(item, (int, float)) or isinstance(item, bool):
+            errors.append(f"{where}[{key!r}] must be a number")
+            ok = False
+    return ok
+
+
+def _validate_cache_map(value: Any, where: str, errors: List[str]) -> bool:
+    if not isinstance(value, dict):
+        errors.append(f"{where} must be an object")
+        return False
+    ok = True
+    for query, stats in value.items():
+        if not isinstance(stats, dict):
+            errors.append(f"{where}[{query!r}] must be an object")
+            ok = False
+            continue
+        hits, misses = stats.get("hits"), stats.get("misses")
+        if not (isinstance(hits, int) and isinstance(misses, int)):
+            errors.append(f"{where}[{query!r}] hits/misses must be ints")
+            ok = False
+            continue
+        if hits < 0 or misses < 0 or hits + misses == 0:
+            errors.append(
+                f"{where}[{query!r}] must have non-negative, non-zero totals"
+            )
+            ok = False
+            continue
+        rate = stats.get("hit_rate")
+        if (
+            not isinstance(rate, (int, float))
+            or abs(rate - hits / (hits + misses)) > 1e-9
+        ):
+            errors.append(f"{where}[{query!r}].hit_rate must equal hits/total")
+            ok = False
+    return ok
+
+
+def validate_trace(payload: Any) -> List[str]:
+    """Check a payload against the ``repro-trace/1`` schema; returns problems.
+
+    An empty list means the payload is valid.  Dependency-free (no
+    jsonschema in this environment), in the style of
+    :func:`repro.perf.validate_report`, and strict about the aggregate:
+    the summed counters and cache stats must equal parent + workers.
+    """
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return ["trace must be an object"]
+    if payload.get("schema") != SCHEMA:
+        errors.append(f"schema must be {SCHEMA!r}")
+    if not isinstance(payload.get("created_unix"), (int, float)):
+        errors.append("created_unix must be a number")
+    machine = payload.get("machine")
+    if not isinstance(machine, dict):
+        errors.append("machine must be an object")
+    else:
+        if not isinstance(machine.get("cpu_count"), int):
+            errors.append("machine.cpu_count must be an int")
+        if not isinstance(machine.get("python"), str):
+            errors.append("machine.python must be a string")
+    if not isinstance(payload.get("meta"), dict):
+        errors.append("meta must be an object")
+
+    spans = payload.get("spans")
+    if not isinstance(spans, list):
+        errors.append("spans must be a list")
+    else:
+        for i, span in enumerate(spans):
+            _validate_span(span, f"spans[{i}]", errors)
+
+    counters_ok = _validate_numeric_map(payload.get("counters"), "counters", errors)
+    _validate_numeric_map(payload.get("gauges"), "gauges", errors)
+    cache_ok = _validate_cache_map(payload.get("cache"), "cache", errors)
+
+    workers = payload.get("workers")
+    workers_ok = isinstance(workers, list)
+    if not workers_ok:
+        errors.append("workers must be a list")
+        workers = []
+    for i, snap in enumerate(workers):
+        where = f"workers[{i}]"
+        if not isinstance(snap, dict):
+            errors.append(f"{where} must be an object")
+            workers_ok = False
+            continue
+        if not isinstance(snap.get("worker"), int):
+            errors.append(f"{where}.worker must be an int (pid)")
+        wspans = snap.get("spans")
+        if not isinstance(wspans, list):
+            errors.append(f"{where}.spans must be a list")
+        else:
+            for j, span in enumerate(wspans):
+                _validate_span(span, f"{where}.spans[{j}]", errors)
+        workers_ok = (
+            _validate_numeric_map(snap.get("counters"), f"{where}.counters", errors)
+            and _validate_cache_map(snap.get("cache"), f"{where}.cache", errors)
+            and workers_ok
+        )
+
+    aggregate = payload.get("aggregate")
+    if not isinstance(aggregate, dict):
+        errors.append("aggregate must be an object")
+        return errors
+    agg_counters_ok = _validate_numeric_map(
+        aggregate.get("counters"), "aggregate.counters", errors
+    )
+    agg_cache_ok = _validate_cache_map(aggregate.get("cache"), "aggregate.cache", errors)
+
+    # the aggregate must actually be the sum of its parts
+    if counters_ok and workers_ok and agg_counters_ok:
+        expected: Dict[str, float] = dict(payload["counters"])
+        for snap in workers:
+            for name, value in snap.get("counters", {}).items():
+                expected[name] = expected.get(name, 0.0) + value
+        got = aggregate["counters"]
+        if set(expected) != set(got) or any(
+            abs(expected[k] - got[k]) > 1e-6 for k in expected
+        ):
+            errors.append("aggregate.counters must equal parent + worker sums")
+    if cache_ok and workers_ok and agg_cache_ok:
+        expected_cache = merge_cache_maps(
+            payload["cache"], *(snap.get("cache", {}) for snap in workers)
+        )
+        got_cache = aggregate["cache"]
+        if set(expected_cache) != set(got_cache) or any(
+            expected_cache[q]["hits"] != got_cache[q]["hits"]
+            or expected_cache[q]["misses"] != got_cache[q]["misses"]
+            for q in expected_cache
+        ):
+            errors.append("aggregate.cache must equal parent + worker sums")
+    return errors

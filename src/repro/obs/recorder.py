@@ -1,0 +1,370 @@
+"""The per-process trace recorder: spans, counters, gauges.
+
+The decision pipeline is a chain of expensive stages — canonicalize
+(Theorem 3.1), iterated LAP splitting (Theorem 4.3), obstruction checks,
+iterative-deepening map search (Theorem 5.1) — and knowing *where* time
+goes requires structure, not scattered ``time.perf_counter()`` pairs.
+This module records that structure:
+
+* **spans** — hierarchical timed regions (``span("decide")`` containing
+  ``span("transform")`` containing per-facet ``span("split.facet")`` …),
+  each with wall-clock and CPU seconds plus free-form attributes;
+* **counters** — monotonically accumulated numbers (search nodes,
+  backtracks, split steps, conformance runs per phase);
+* **gauges** — last-write-wins numbers (population sizes, worker counts);
+* **worker snapshots** — serialized recorder state returned by
+  :mod:`multiprocessing` pool workers (see :func:`capture_worker`) and
+  folded into the parent with :func:`merge_worker_snapshot`, so parallel
+  census/conformance runs report *aggregate* counters and cache hit
+  rates instead of silently dropping everything the workers did.
+
+Tracing is **off by default** and gated by a module-level flag, exactly
+like :func:`repro.topology.cache.set_caching`: when disabled,
+:func:`span` returns a shared no-op context manager and
+:func:`counter_add` / :func:`gauge_set` return immediately, so the
+instrumented hot paths pay one attribute load + branch per call site
+(< 5 % on ``benchmarks/bench_perf_core.py``; measured by
+``benchmarks/bench_obs.py``).
+
+The recorder is deliberately per-process and single-stack; the library's
+parallelism is process-based (``repro.analysis.parallel``,
+``repro.runtime.conformance``), and worker processes get a fresh
+recorder via :func:`capture_worker`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+_enabled: bool = False
+
+
+class SpanRecord:
+    """One completed (or in-flight) timed region of the span tree."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "start_unix",
+        "wall_seconds",
+        "cpu_seconds",
+        "children",
+    )
+
+    def __init__(self, name: str, attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start_unix = 0.0
+        self.wall_seconds = 0.0
+        self.cpu_seconds = 0.0
+        self.children: List["SpanRecord"] = []
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "start_unix": self.start_unix,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "attrs": dict(self.attrs),
+            "children": [c.as_dict() for c in self.children],
+        }
+
+    def walk(self) -> Iterator["SpanRecord"]:
+        """Depth-first iteration over this span and all its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanRecord[{self.name}: {self.wall_seconds * 1e3:.2f}ms, "
+            f"{len(self.children)} children]"
+        )
+
+
+class _ActiveSpan:
+    """Context manager pushing/popping one :class:`SpanRecord`."""
+
+    __slots__ = ("_recorder", "record", "_t0", "_c0")
+
+    def __init__(self, recorder: "Recorder", record: SpanRecord) -> None:
+        self._recorder = recorder
+        self.record = record
+        self._t0 = 0.0
+        self._c0 = 0.0
+
+    def __enter__(self) -> SpanRecord:
+        rec = self._recorder
+        stack = rec._stack
+        (stack[-1].children if stack else rec.roots).append(self.record)
+        stack.append(self.record)
+        self.record.start_unix = time.time()
+        self._c0 = time.process_time()
+        self._t0 = time.perf_counter()
+        return self.record
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        self.record.wall_seconds = time.perf_counter() - self._t0
+        self.record.cpu_seconds = time.process_time() - self._c0
+        if exc is not None:
+            self.record.attrs.setdefault("error", f"{type(exc).__name__}: {exc}")
+        stack = self._recorder._stack
+        if stack and stack[-1] is self.record:
+            stack.pop()
+        return False
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def _cache_raw() -> Dict[str, Tuple[int, int]]:
+    """Current-process memoization stats as ``{query: (hits, misses)}``."""
+    # imported lazily: obs must stay importable below the topology layer
+    from ..topology.cache import cache_info
+
+    return {
+        name: (int(stats["hits"]), int(stats["misses"]))
+        for name, stats in cache_info().items()
+    }
+
+
+def _cache_delta(
+    baseline: Dict[str, Tuple[int, int]], now: Dict[str, Tuple[int, int]]
+) -> Dict[str, Dict[str, Any]]:
+    """Per-query ``now - baseline``, clamped at zero (``cache_clear`` resets
+    the raw counters, which would otherwise produce negative deltas)."""
+    out: Dict[str, Dict[str, Any]] = {}
+    for name, (hits, misses) in sorted(now.items()):
+        h0, m0 = baseline.get(name, (0, 0))
+        dh, dm = max(hits - h0, 0), max(misses - m0, 0)
+        if dh + dm:
+            out[name] = {"hits": dh, "misses": dm, "hit_rate": dh / (dh + dm)}
+    return out
+
+
+def merge_cache_maps(*maps: Dict[str, Dict[str, Any]]) -> Dict[str, Dict[str, Any]]:
+    """Sum ``{query: {hits, misses, hit_rate}}`` maps; hit rates recomputed."""
+    totals: Dict[str, List[int]] = {}
+    for m in maps:
+        for name, stats in m.items():
+            pair = totals.setdefault(name, [0, 0])
+            pair[0] += int(stats["hits"])
+            pair[1] += int(stats["misses"])
+    return {
+        name: {"hits": h, "misses": m, "hit_rate": h / (h + m)}
+        for name, (h, m) in sorted(totals.items())
+        if h + m
+    }
+
+
+class Recorder:
+    """Per-process trace state: span tree, counters, gauges, worker merges."""
+
+    __slots__ = ("roots", "counters", "gauges", "worker_snapshots", "_stack", "_cache_baseline")
+
+    def __init__(self) -> None:
+        self.roots: List[SpanRecord] = []
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.worker_snapshots: List[Dict[str, Any]] = []
+        self._stack: List[SpanRecord] = []
+        self._cache_baseline: Dict[str, Tuple[int, int]] = _cache_raw()
+
+    # -- recording ---------------------------------------------------------
+
+    def span(self, name: str, /, **attrs: Any) -> _ActiveSpan:
+        # positional-only so an attribute may itself be called "name"
+        return _ActiveSpan(self, SpanRecord(name, attrs))
+
+    def add_counter(self, name: str, value: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    # -- inspection --------------------------------------------------------
+
+    def walk(self) -> Iterator[SpanRecord]:
+        """Depth-first iteration over every recorded span (parent only)."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def find_span(self, name: str) -> Optional[SpanRecord]:
+        """The first span (depth-first) with the given name, or ``None``."""
+        for record in self.walk():
+            if record.name == name:
+                return record
+        return None
+
+    def span_names(self) -> List[str]:
+        return [record.name for record in self.walk()]
+
+    def own_cache(self) -> Dict[str, Dict[str, Any]]:
+        """This process's memoization activity since the recorder was created."""
+        return _cache_delta(self._cache_baseline, _cache_raw())
+
+    # -- cross-process aggregation -----------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Serializable state for crossing a process boundary."""
+        return {
+            "worker": os.getpid(),
+            "spans": [root.as_dict() for root in self.roots],
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "cache": self.own_cache(),
+        }
+
+    def merge_worker(self, snapshot: Dict[str, Any]) -> None:
+        """Fold one worker snapshot into this (parent) recorder."""
+        self.worker_snapshots.append(snapshot)
+
+    def aggregate_counters(self) -> Dict[str, float]:
+        """Parent counters plus the sum of every merged worker's counters."""
+        totals = dict(self.counters)
+        for snap in self.worker_snapshots:
+            for name, value in snap.get("counters", {}).items():
+                totals[name] = totals.get(name, 0.0) + value
+        return totals
+
+    def aggregate_cache(self) -> Dict[str, Dict[str, Any]]:
+        """Parent + worker memoization stats, summed per query.
+
+        This is the number the parallel census/conformance engines could
+        not report before: worker hits/misses used to vanish with the
+        worker process, so parallel runs under-reported cache
+        effectiveness.  ``workers=1`` and ``workers=N`` aggregates are
+        equal on the same workload (pinned by
+        ``tests/test_obs_integration.py``).
+        """
+        return merge_cache_maps(
+            self.own_cache(),
+            *(snap.get("cache", {}) for snap in self.worker_snapshots),
+        )
+
+
+_recorder = Recorder()
+
+
+def get_recorder() -> Recorder:
+    """The process-wide recorder currently collecting spans."""
+    return _recorder
+
+
+def reset_recorder() -> Recorder:
+    """Install a fresh recorder (and cache baseline); returns the old one."""
+    global _recorder
+    previous = _recorder
+    _recorder = Recorder()
+    return previous
+
+
+def tracing_enabled() -> bool:
+    """Whether spans/counters are currently being recorded."""
+    return _enabled
+
+
+def set_tracing(enabled: bool) -> bool:
+    """Globally enable/disable tracing; returns the previous state."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def tracing(enabled: bool = True) -> Iterator[Recorder]:
+    """Run a block with tracing switched on (or off) and restored after."""
+    previous = set_tracing(enabled)
+    try:
+        yield _recorder
+    finally:
+        set_tracing(previous)
+
+
+def span(name: str, /, **attrs: Any) -> Any:
+    """A timed region; a no-op singleton when tracing is disabled.
+
+    Use as ``with span("decide", task=name) as sp:`` — ``sp`` is the
+    mutable :class:`SpanRecord` when tracing, ``None`` otherwise (use
+    :func:`annotate` to attach attributes without branching on that).
+    The span name is positional-only, so any keyword — including
+    ``name=…`` — is an attribute.
+    """
+    if not _enabled:
+        return _NULL_SPAN
+    return _recorder.span(name, **attrs)
+
+
+def annotate(record: Optional[SpanRecord], /, **attrs: Any) -> None:
+    """Attach attributes to an active span; no-op on the disabled ``None``."""
+    if record is not None:
+        record.attrs.update(attrs)
+
+
+def counter_add(name: str, value: float = 1.0) -> None:
+    """Accumulate into a monotonic counter (no-op while disabled)."""
+    if _enabled:
+        _recorder.add_counter(name, value)
+
+
+def gauge_set(name: str, value: float) -> None:
+    """Set a last-write-wins gauge (no-op while disabled)."""
+    if _enabled:
+        _recorder.set_gauge(name, value)
+
+
+class WorkerCapture:
+    """Box carrying a worker's snapshot out of :func:`capture_worker`."""
+
+    __slots__ = ("snapshot",)
+
+    def __init__(self) -> None:
+        self.snapshot: Optional[Dict[str, Any]] = None
+
+
+@contextmanager
+def capture_worker() -> Iterator[WorkerCapture]:
+    """Record a pool worker's block into a fresh recorder and snapshot it.
+
+    Used inside :mod:`multiprocessing` worker entry points (one capture
+    per work item): a fresh recorder is installed (so fork-inherited
+    parent state cannot leak in), tracing is enabled, and on exit the
+    block's spans, counters and *cache-delta* are serialized into
+    ``capture.snapshot`` for the parent to fold in with
+    :func:`merge_worker_snapshot`.  The previous recorder and flag are
+    always restored — pool workers are reused across work items, so each
+    item's snapshot must cover exactly its own activity.
+    """
+    global _recorder
+    previous_recorder = _recorder
+    previous_flag = set_tracing(True)
+    fresh = Recorder()
+    _recorder = fresh
+    capture = WorkerCapture()
+    try:
+        yield capture
+    finally:
+        capture.snapshot = fresh.snapshot()
+        _recorder = previous_recorder
+        set_tracing(previous_flag)
+
+
+def merge_worker_snapshot(snapshot: Dict[str, Any]) -> None:
+    """Parent-side fold of one worker snapshot into the current recorder."""
+    _recorder.merge_worker(snapshot)

@@ -1,0 +1,114 @@
+"""Human-readable rendering of ``repro-trace/1`` payloads.
+
+Backs ``python -m repro trace summary``: the span tree with wall/CPU
+milliseconds and attributes, the top counters, the aggregate cache table,
+and a per-worker skew line for parallel runs.  Pure formatting — the
+payload is assumed to have passed :func:`repro.obs.validate_trace`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:9.2f}ms"
+
+
+def _fmt_attrs(attrs: Dict[str, Any]) -> str:
+    if not attrs:
+        return ""
+    parts = [f"{k}={attrs[k]!r}" for k in sorted(attrs)]
+    text = " ".join(parts)
+    if len(text) > 72:
+        text = text[:69] + "..."
+    return f"  [{text}]"
+
+
+def _span_lines(
+    span: Dict[str, Any],
+    depth: int,
+    max_depth: Optional[int],
+    lines: List[str],
+) -> None:
+    if max_depth is not None and depth > max_depth:
+        return
+    lines.append(
+        f"  {_fmt_ms(span['wall_seconds'])} wall {_fmt_ms(span['cpu_seconds'])} cpu"
+        f"  {'  ' * depth}{span['name']}{_fmt_attrs(span['attrs'])}"
+    )
+    for child in span["children"]:
+        _span_lines(child, depth + 1, max_depth, lines)
+
+
+def format_trace_summary(
+    payload: Dict[str, Any],
+    max_depth: Optional[int] = None,
+    max_counters: int = 20,
+) -> str:
+    """Render one trace payload as an indented text report."""
+    lines: List[str] = []
+    meta = payload.get("meta", {})
+    machine = payload.get("machine", {})
+    header = f"trace {payload.get('schema', '?')}"
+    if meta.get("command"):
+        header += f" — {meta['command']}"
+    lines.append(header)
+    lines.append(
+        f"machine: python {machine.get('python', '?')}, "
+        f"{machine.get('cpu_count', '?')} cpus"
+    )
+
+    spans = payload.get("spans", [])
+    if spans:
+        lines.append("")
+        lines.append("spans (wall / cpu):")
+        for span in spans:
+            _span_lines(span, 0, max_depth, lines)
+
+    aggregate = payload.get("aggregate", {})
+    counters = aggregate.get("counters") or payload.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append("counters (aggregate):")
+        ranked = sorted(counters.items(), key=lambda kv: (-kv[1], kv[0]))
+        for name, value in ranked[:max_counters]:
+            text = f"{value:.0f}" if float(value).is_integer() else f"{value:.3f}"
+            lines.append(f"  {text:>12}  {name}")
+        if len(ranked) > max_counters:
+            lines.append(f"  … {len(ranked) - max_counters} more")
+
+    gauges = payload.get("gauges", {})
+    if gauges:
+        lines.append("")
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            lines.append(f"  {gauges[name]:>12g}  {name}")
+
+    cache = aggregate.get("cache") or payload.get("cache", {})
+    if cache:
+        lines.append("")
+        lines.append("cache (aggregate across processes):")
+        width = max(len(q) for q in cache)
+        for query in sorted(cache):
+            stats = cache[query]
+            lines.append(
+                f"  {query:<{width}}  hits={stats['hits']:<8} "
+                f"misses={stats['misses']:<8} hit_rate={stats['hit_rate']:.3f}"
+            )
+
+    workers = payload.get("workers", [])
+    if workers:
+        lines.append("")
+        totals = [
+            sum(s["wall_seconds"] for s in snap.get("spans", []))
+            for snap in workers
+        ]
+        pids = sorted({snap.get("worker") for snap in workers})
+        lines.append(
+            f"workers: {len(workers)} work item(s) across {len(pids)} process(es); "
+            f"per-item wall {min(totals):.3f}s–{max(totals):.3f}s"
+            if totals
+            else f"workers: {len(workers)} work item(s)"
+        )
+    return "\n".join(lines)

@@ -22,12 +22,13 @@ absolute numbers honestly across hosts.
 from __future__ import annotations
 
 import json
+import math
 import os
 import platform
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 #: Report format identifier; bump the suffix on breaking changes.
 SCHEMA = "repro-perf/1"
@@ -98,9 +99,19 @@ class PerfHarness:
 
         Returns ``(last_result, measurement)``; counters that depend on the
         result can be added to ``measurement.counters`` afterwards.
+
+        Measurement names must be unique within a harness — a duplicate
+        would make ``harness[name]`` and :meth:`speedup` silently resolve
+        to whichever entry came first, reporting ratios against the wrong
+        numbers.
         """
         if repeat < 1:
             raise ValueError("repeat must be at least 1")
+        if any(m.name == name for m in self.measurements):
+            raise ValueError(
+                f"duplicate measurement name {name!r}; names must be unique "
+                "so lookups and speedups are unambiguous"
+            )
         seconds: List[float] = []
         result: Any = None
         for _ in range(repeat):
@@ -123,8 +134,24 @@ class PerfHarness:
         raise KeyError(name)
 
     def speedup(self, baseline: str, contender: str) -> float:
-        """``best(baseline) / best(contender)`` — >1 means contender wins."""
-        ratio = self[baseline].best / max(self[contender].best, 1e-12)
+        """``best(baseline) / best(contender)`` — >1 means contender wins.
+
+        Raises :class:`ValueError` when either side's best time is zero,
+        negative or non-finite: a ~0s timing (e.g. a fully cached no-op)
+        would otherwise be clamped into a fictitious huge-but-finite
+        ratio, poisoning the derived numbers later PRs diff against.
+        """
+        base = self[baseline].best
+        cont = self[contender].best
+        for name, best in ((baseline, base), (contender, cont)):
+            if not math.isfinite(best) or best <= 0.0:
+                raise ValueError(
+                    f"cannot compute a speedup: measurement {name!r} has a "
+                    f"degenerate best time of {best!r}s (the workload must "
+                    "do measurable work — re-run with more repeats or a "
+                    "larger input instead of reporting a fictitious ratio)"
+                )
+        ratio = base / cont
         self.derived[f"speedup:{contender}/{baseline}"] = ratio
         return ratio
 
@@ -203,11 +230,20 @@ def validate_report(payload: Any) -> List[str]:
     results = payload.get("results")
     if not expect(isinstance(results, list) and results, "results must be non-empty"):
         return errors
+    seen_names: Set[str] = set()
     for i, entry in enumerate(results):
         where = f"results[{i}]"
         if not expect(isinstance(entry, dict), f"{where} must be an object"):
             continue
-        expect(isinstance(entry.get("name"), str), f"{where}.name must be a string")
+        name = entry.get("name")
+        if expect(isinstance(name, str), f"{where}.name must be a string"):
+            # duplicates would make name-based lookups (and speedups
+            # computed from them) silently ambiguous
+            expect(
+                name not in seen_names,
+                f"{where}.name {name!r} duplicates an earlier measurement",
+            )
+            seen_names.add(name)
         secs = entry.get("seconds_each")
         if expect(
             isinstance(secs, list)
@@ -222,6 +258,12 @@ def validate_report(payload: Any) -> List[str]:
             expect(
                 abs(entry.get("best_seconds", -1) - min(secs)) < 1e-9,
                 f"{where}.best_seconds must be min(seconds_each)",
+            )
+            mean = sum(secs) / len(secs)
+            expect(
+                abs(entry.get("mean_seconds", -1) - mean)
+                < 1e-9 + 1e-9 * abs(mean),
+                f"{where}.mean_seconds must be mean(seconds_each)",
             )
         for numeric_map in ("counters",):
             mapping = entry.get(numeric_map)

@@ -34,6 +34,14 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
+from ..obs import (
+    annotate,
+    capture_worker,
+    counter_add,
+    merge_worker_snapshot,
+    span,
+    tracing_enabled,
+)
 from ..solvability.decision import Status, decide_solvability
 from ..tasks.task import Task
 from ..topology.simplex import Simplex
@@ -281,97 +289,107 @@ def conform_protocol(
     for input_index, inputs in enumerate(
         participation_simplices(task, config.participation)
     ):
-        n = max(inputs.colors()) + 1
-        pids = sorted(inputs.colors())
+        with span("conform.input", index=input_index, inputs=repr(inputs)):
+            n = max(inputs.colors()) + 1
+            pids = sorted(inputs.colors())
 
-        def violates(candidate: Sequence[int]) -> bool:
-            trace = run_with_schedule(
-                n, build(inputs), candidate, max_steps=config.max_steps
-            )
-            return check_trace(task, inputs, trace) is not None
-
-        def record(phase: str, detail: str, trace: ExecutionTrace) -> None:
-            result.runs[phase] += 1
-            steps = trace.total_steps()
-            result.total_steps += steps
-            result.max_steps_seen = max(result.max_steps_seen, steps)
-            bucket = _step_bucket(steps)
-            result.step_histogram[bucket] = result.step_histogram.get(bucket, 0) + 1
-            reason = check_trace(task, inputs, trace)
-            if reason is None:
-                return
-            schedule: Tuple[int, ...] = tuple(trace.schedule)
-            attempts = 0
-            if config.shrink:
-                schedule, attempts = shrink_schedule(
-                    violates, schedule, budget=config.shrink_budget
+            def violates(candidate: Sequence[int]) -> bool:
+                trace = run_with_schedule(
+                    n, build(inputs), candidate, max_steps=config.max_steps
                 )
-                reason = (
-                    check_trace(
-                        task,
-                        inputs,
-                        run_with_schedule(
-                            n, build(inputs), schedule, max_steps=config.max_steps
-                        ),
+                return check_trace(task, inputs, trace) is not None
+
+            def record(phase: str, detail: str, trace: ExecutionTrace) -> None:
+                result.runs[phase] += 1
+                counter_add(f"conform.runs.{phase}")
+                steps = trace.total_steps()
+                counter_add("conform.steps", steps)
+                result.total_steps += steps
+                result.max_steps_seen = max(result.max_steps_seen, steps)
+                bucket = _step_bucket(steps)
+                result.step_histogram[bucket] = (
+                    result.step_histogram.get(bucket, 0) + 1
+                )
+                reason = check_trace(task, inputs, trace)
+                if reason is None:
+                    return
+                counter_add("conform.violations")
+                schedule: Tuple[int, ...] = tuple(trace.schedule)
+                attempts = 0
+                if config.shrink:
+                    schedule, attempts = shrink_schedule(
+                        violates, schedule, budget=config.shrink_budget
                     )
-                    or reason
-                )
-            result.violations.append(
-                ViolationRecord(
-                    phase=phase,
-                    detail=detail,
-                    input_index=input_index,
-                    inputs_repr=repr(inputs),
-                    reason=reason,
-                    schedule=schedule,
-                    original_length=len(trace.schedule),
-                    shrink_attempts=attempts,
-                )
-            )
-
-        try:
-            # 1. sequential solo blocks: every participation permutation
-            for order in itertools.permutations(pids):
-                record(
-                    "solo",
-                    f"order={order}",
-                    run_solo_blocks(n, build(inputs), order, max_steps=config.max_steps),
-                )
-
-            # 2. seeded random schedules (input simplex + run index mixed in)
-            for k in range(config.random_runs):
-                seed = derive_run_seed(config.seed, inputs, k)
-                record(
-                    "random",
-                    f"k={k}",
-                    run_random(n, build(inputs), seed=seed, max_steps=config.max_steps),
+                    reason = (
+                        check_trace(
+                            task,
+                            inputs,
+                            run_with_schedule(
+                                n, build(inputs), schedule, max_steps=config.max_steps
+                            ),
+                        )
+                        or reason
+                    )
+                result.violations.append(
+                    ViolationRecord(
+                        phase=phase,
+                        detail=detail,
+                        input_index=input_index,
+                        inputs_repr=repr(inputs),
+                        reason=reason,
+                        schedule=schedule,
+                        original_length=len(trace.schedule),
+                        shrink_attempts=attempts,
+                    )
                 )
 
-            # 3. the adversary battery
-            if config.adversarial:
-                for strategy_name, strategy in standard_battery(pids):
+            try:
+                # 1. sequential solo blocks: every participation permutation
+                for order in itertools.permutations(pids):
                     record(
-                        "adversarial",
-                        strategy_name,
-                        run_adversarial(
-                            n, build(inputs), strategy, max_steps=config.max_steps
+                        "solo",
+                        f"order={order}",
+                        run_solo_blocks(
+                            n, build(inputs), order, max_steps=config.max_steps
                         ),
                     )
 
-            # 4. exhaustive prefix-tree enumeration under a budget
-            if config.exhaustive_limit:
-                for i, trace in enumerate(
-                    explore_schedules(
-                        n,
-                        build(inputs),
-                        max_executions=config.exhaustive_limit,
-                        max_steps=config.max_steps,
+                # 2. seeded random schedules (input simplex + run index mixed in)
+                for k in range(config.random_runs):
+                    seed = derive_run_seed(config.seed, inputs, k)
+                    record(
+                        "random",
+                        f"k={k}",
+                        run_random(
+                            n, build(inputs), seed=seed, max_steps=config.max_steps
+                        ),
                     )
-                ):
-                    record("exhaustive", f"dfs={i}", trace)
-        except SchedulerError as exc:
-            result.error = f"input {inputs!r}: {exc}"
-            break
+
+                # 3. the adversary battery
+                if config.adversarial:
+                    for strategy_name, strategy in standard_battery(pids):
+                        record(
+                            "adversarial",
+                            strategy_name,
+                            run_adversarial(
+                                n, build(inputs), strategy, max_steps=config.max_steps
+                            ),
+                        )
+
+                # 4. exhaustive prefix-tree enumeration under a budget
+                if config.exhaustive_limit:
+                    for i, trace in enumerate(
+                        explore_schedules(
+                            n,
+                            build(inputs),
+                            max_executions=config.exhaustive_limit,
+                            max_steps=config.max_steps,
+                        )
+                    ):
+                        record("exhaustive", f"dfs={i}", trace)
+            except SchedulerError as exc:
+                result.error = f"input {inputs!r}: {exc}"
+                break
 
     result.seconds = time.perf_counter() - t0
     return result
@@ -391,6 +409,21 @@ def conform_task(
     """
     config = config or ConformanceConfig()
     name = name or task.name or "task"
+    with span("conform.task", name=name) as task_span:
+        result = _conform_task(task, config, name)
+        annotate(
+            task_span,
+            status=result.status,
+            runs=result.total_runs,
+            violations=len(result.violations),
+        )
+    return result
+
+
+def _conform_task(
+    task: Task, config: ConformanceConfig, name: str
+) -> TaskConformance:
+    """The decide → synthesize → validate chain inside the per-task span."""
     t0 = time.perf_counter()
     verdict = decide_solvability(task, max_rounds=config.max_rounds)
     if verdict.status is not Status.SOLVABLE:
@@ -400,9 +433,10 @@ def conform_task(
             seconds=time.perf_counter() - t0,
         )
     try:
-        protocol = synthesize_protocol(
-            task, verdict=verdict, prefer_direct=config.prefer_direct
-        )
+        with span("conform.synthesize"):
+            protocol = synthesize_protocol(
+                task, verdict=verdict, prefer_direct=config.prefer_direct
+            )
     except (SynthesisError, SchedulerError) as exc:
         return TaskConformance(
             name=name,
@@ -456,14 +490,40 @@ def census_slice(seeds: Sequence[int]) -> List[str]:
     return [f"{CENSUS_PREFIX}{seed}" for seed in seeds]
 
 
-def _conform_entry(args: Tuple[str, ConformanceConfig]) -> TaskConformance:
-    """Pool worker entry point: resolve one task by name and conform it."""
-    name, config = args
+def _conform_one(name: str, config: ConformanceConfig) -> TaskConformance:
+    """Resolve one task by name and conform it, never letting an exception
+    escape: a raising worker would otherwise abort the whole campaign
+    (``pool.map`` re-raises in the parent), losing every other task's
+    result.  Unexpected exceptions become ``status="error"`` records."""
     try:
         task = resolve_campaign_task(name)
     except ValueError as exc:
         return TaskConformance(name=name, status="error", error=str(exc))
-    return conform_task(task, config, name=name)
+    try:
+        return conform_task(task, config, name=name)
+    except Exception as exc:  # noqa: BLE001 — campaign must survive any task
+        return TaskConformance(
+            name=name, status="error", error=f"{type(exc).__name__}: {exc}"
+        )
+
+
+def _conform_entry(
+    args: Tuple[str, ConformanceConfig, bool]
+) -> Tuple[TaskConformance, Optional[Dict[str, Any]]]:
+    """Pool worker entry point; optionally captures an obs snapshot.
+
+    ``trace`` is the dispatching parent's tracing flag: when set, the
+    task runs under :func:`repro.obs.capture_worker` and its spans,
+    counters and cache delta ride back with the result for parent-side
+    aggregation (serial in-process execution passes ``False`` and records
+    straight into the parent recorder instead).
+    """
+    name, config, trace = args
+    if not trace:
+        return _conform_one(name, config), None
+    with capture_worker() as capture:
+        result = _conform_one(name, config)
+    return result, capture.snapshot
 
 
 def run_campaign(
@@ -493,12 +553,13 @@ def run_campaign(
             "(pass None to use one process per CPU)"
         )
     t0 = time.perf_counter()
-    jobs = [(name, config) for name in names]
     n_workers = default_workers() if workers is None else workers
-    n_workers = min(n_workers, max(len(jobs), 1))
-    if n_workers <= 1 or len(jobs) <= 1:
-        results = [_conform_entry(job) for job in jobs]
+    n_workers = min(n_workers, max(len(names), 1))
+    if n_workers <= 1 or len(names) <= 1:
+        # serial: record straight into this process's recorder (trace=False)
+        outcomes = [_conform_entry((name, config, False)) for name in names]
     else:
+        jobs = [(name, config, tracing_enabled()) for name in names]
         ctx = (
             multiprocessing.get_context(start_method)
             if start_method is not None
@@ -508,7 +569,12 @@ def run_campaign(
             # map (not imap_unordered) keeps report order == input order
             # even when names repeat; per-task determinism makes scheduling
             # invisible to the content
-            results = pool.map(_conform_entry, jobs, chunksize)
+            outcomes = pool.map(_conform_entry, jobs, chunksize)
+    results = []
+    for result, snapshot in outcomes:
+        results.append(result)
+        if snapshot is not None:
+            merge_worker_snapshot(snapshot)
     return ConformanceReport(
         tasks=results,
         config=config.as_dict(),

@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..obs import annotate, counter_add, span
 from ..splitting.pipeline import TransformResult, link_connected_form
 from ..tasks.task import Task
 from ..topology.maps import SimplicialMap
@@ -151,6 +152,36 @@ def decide_solvability(
         from ..check.preflight import preflight_check
 
         preflight_check(task)
+    with span(
+        "decide", task=task.name or "task", n_processes=task.n_processes
+    ) as decide_span:
+        verdict = _decide_solvability(
+            task,
+            max_rounds,
+            engine,
+            run_obstructions,
+            chromatic_witness,
+            max_nodes,
+        )
+        annotate(decide_span, status=verdict.status.value)
+    return verdict
+
+
+def _decide_solvability(
+    task: Task,
+    max_rounds: int,
+    engine: str,
+    run_obstructions: bool,
+    chromatic_witness: bool,
+    max_nodes: int,
+) -> SolvabilityVerdict:
+    """The decision pipeline proper, inside the ``decide`` span.
+
+    The free-form ``verdict.stats`` timings are kept for compatibility and
+    back-filled from the same stage boundaries the spans cover; the span
+    tree (``decide`` → ``transform`` → ``obstructions`` → ``search``) is
+    the structured view — see ``docs/observability.md``.
+    """
     t0 = time.perf_counter()
     stats: Dict[str, float] = {}
     n = task.n_processes
@@ -193,24 +224,33 @@ def decide_solvability(
         )
 
     t_transform = time.perf_counter()
-    transform = link_connected_form(task)
+    with span("transform") as transform_span:
+        transform = link_connected_form(task)
+        annotate(transform_span, n_splits=transform.n_splits)
     stats["transform_seconds"] = time.perf_counter() - t_transform
     stats["n_splits"] = transform.n_splits
+    counter_add("decide.transform.splits", transform.n_splits)
 
     if run_obstructions:
         t_obs = time.perf_counter()
-        for kind, check in OBSTRUCTION_CHECKS:
-            witness = check(transform.task)
-            if witness is not None:
-                stats["obstruction_seconds"] = time.perf_counter() - t_obs
-                stats["seconds"] = time.perf_counter() - t0
-                return SolvabilityVerdict(
-                    status=Status.UNSOLVABLE,
-                    task=task,
-                    transform=transform,
-                    obstruction=witness,
-                    stats=stats,
-                )
+        with span("obstructions") as obstructions_span:
+            for kind, check in OBSTRUCTION_CHECKS:
+                with span("obstruction.check", kind=kind) as check_span:
+                    witness = check(transform.task)
+                    annotate(check_span, hit=witness is not None)
+                counter_add("decide.obstructions.checked")
+                if witness is not None:
+                    counter_add(f"decide.obstructions.hit.{kind}")
+                    annotate(obstructions_span, hit=kind)
+                    stats["obstruction_seconds"] = time.perf_counter() - t_obs
+                    stats["seconds"] = time.perf_counter() - t0
+                    return SolvabilityVerdict(
+                        status=Status.UNSOLVABLE,
+                        task=task,
+                        transform=transform,
+                        obstruction=witness,
+                        stats=stats,
+                    )
         stats["obstruction_seconds"] = time.perf_counter() - t_obs
 
     verdict = SolvabilityVerdict(
@@ -243,28 +283,45 @@ def _attach_witness(
     """Iterative-deepening map search; mutates ``verdict`` on success."""
     tower = _subdivision_tower(target_task, engine)
     search_stats = SearchStats()
-    for r in range(max_rounds + 1):
-        sub = tower.level(r)
-        if engine == "barycentric" and chromatic_witness:
-            raise ValueError("barycentric subdivisions cannot carry chromatic maps")
-        try:
-            f = find_map(
-                sub,
-                target_task.delta,
-                chromatic=chromatic_witness,
-                max_nodes=max_nodes,
-                stats=search_stats,
-            )
-        except SearchBudgetExceeded:
-            stats[f"search_r{r}_budget_exceeded"] = 1.0
-            break
-        if f is not None:
-            assert verify_map(sub, target_task.delta, f, chromatic=chromatic_witness)
-            verdict.status = Status.SOLVABLE
-            verdict.witness_map = f
-            verdict.witness_subdivision = sub
-            verdict.witness_rounds = r
-            verdict.witness_chromatic = chromatic_witness
-            break
+    with span("search", engine=engine, max_rounds=max_rounds) as search_span:
+        for r in range(max_rounds + 1):
+            with span("search.round", r=r) as round_span:
+                sub = tower.level(r)
+                if engine == "barycentric" and chromatic_witness:
+                    raise ValueError(
+                        "barycentric subdivisions cannot carry chromatic maps"
+                    )
+                try:
+                    f = find_map(
+                        sub,
+                        target_task.delta,
+                        chromatic=chromatic_witness,
+                        max_nodes=max_nodes,
+                        stats=search_stats,
+                    )
+                except SearchBudgetExceeded:
+                    stats[f"search_r{r}_budget_exceeded"] = 1.0
+                    annotate(round_span, budget_exceeded=True)
+                    break
+                annotate(
+                    round_span,
+                    found=f is not None,
+                    nodes=search_stats.nodes,
+                    backtracks=search_stats.backtracks,
+                )
+            if f is not None:
+                assert verify_map(
+                    sub, target_task.delta, f, chromatic=chromatic_witness
+                )
+                verdict.status = Status.SOLVABLE
+                verdict.witness_map = f
+                verdict.witness_subdivision = sub
+                verdict.witness_rounds = r
+                verdict.witness_chromatic = chromatic_witness
+                break
+        annotate(search_span, witness_rounds=verdict.witness_rounds)
     stats["search_nodes"] = float(search_stats.nodes)
     stats["search_backtracks"] = float(search_stats.backtracks)
+    counter_add("decide.search.nodes", search_stats.nodes)
+    counter_add("decide.search.backtracks", search_stats.backtracks)
+    counter_add("decide.search.propagations", search_stats.propagations)

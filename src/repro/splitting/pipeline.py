@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from ..obs import annotate, counter_add, span
 from ..tasks.canonical import CanonicalForm, canonicalize_if_needed
 from ..tasks.task import Task
 from ..topology.simplex import Vertex
@@ -30,11 +31,14 @@ from .lap import (
 
 
 class SplittingDidNotConverge(RuntimeError):
-    """Raised when LAP elimination exceeds its step budget.
+    """Raised when LAP elimination exceeds its **per-facet** step budget.
 
-    Theorem 4.3 proves termination, so hitting this indicates a bug or an
-    adversarially large task; the budget exists to fail loudly rather than
-    loop.
+    The ``max_steps`` budget of :func:`eliminate_laps` bounds the number
+    of splitting deformations spent on any *single* input facet — it is
+    reset for each facet, so a task may perform far more than
+    ``max_steps`` splits in total and still converge.  Theorem 4.3 proves
+    termination, so hitting this indicates a bug or an adversarially
+    large task; the budget exists to fail loudly rather than loop.
     """
 
 
@@ -67,23 +71,39 @@ def eliminate_laps(task: Task, max_steps: int = 10_000) -> SplitPipelineResult:
     are processed in canonical order; within a facet, the first LAP in
     canonical order is split each round, matching the constructive proof of
     Theorem 4.3.
+
+    ``max_steps`` is a **per-facet** budget: it is reset for every input
+    facet, so the total number of splits across the task may legitimately
+    exceed it (Lemma 4.1 only guarantees a strictly decreasing LAP count
+    *per facet*).  Exhausting the budget on any single facet raises
+    :class:`SplittingDidNotConverge`.
     """
     current = task
     steps = []
     for sigma in task.input_complex.facets:
-        budget = max_steps
-        while True:
-            laps = local_articulation_points(current, facet=sigma)
-            if not laps:
-                break
-            if budget <= 0:
-                raise SplittingDidNotConverge(
-                    f"LAP elimination for facet {sigma!r} exceeded {max_steps} steps"
-                )
-            budget -= 1
-            step = split_lap(current, laps[0], check=False)
-            steps.append(step)
-            current = step.after
+        with span("split.facet", facet=str(sigma)) as facet_span:
+            budget = max_steps
+            splits_before = len(steps)
+            while True:
+                laps = local_articulation_points(current, facet=sigma)
+                if not laps:
+                    break
+                if budget <= 0:
+                    raise SplittingDidNotConverge(
+                        f"LAP elimination for facet {sigma!r} exceeded its "
+                        f"per-facet budget of {max_steps} steps (the budget "
+                        f"resets for each facet; {len(steps)} splits were "
+                        "performed before this facet's budget ran out)"
+                    )
+                budget -= 1
+                step = split_lap(current, laps[0], check=False)
+                steps.append(step)
+                current = step.after
+            facet_splits = len(steps) - splits_before
+            annotate(facet_span, splits=facet_splits)
+            counter_add("split.steps", facet_splits)
+            if facet_splits:
+                counter_add("split.facets_with_laps")
     return SplitPipelineResult(original=task, task=current, steps=tuple(steps))
 
 
@@ -129,10 +149,12 @@ def link_connected_form(task: Task, max_steps: int = 10_000) -> TransformResult:
     back.  The output complex is restricted to its reachable part first
     (the paper's standing assumption ``O = ∪_σ Δ(σ)``).
     """
-    reachable = task.restrict_to_reachable()
-    canonical = canonicalize_if_needed(reachable)
+    with span("canonicalize"):
+        reachable = task.restrict_to_reachable()
+        canonical = canonicalize_if_needed(reachable)
     if task.input_complex.dim == 2:
-        pipeline = eliminate_laps(canonical.task, max_steps=max_steps)
+        with span("split"):
+            pipeline = eliminate_laps(canonical.task, max_steps=max_steps)
     else:
         # splitting is specific to three processes; lower dimensions need no
         # LAP elimination for the characterization (Proposition 5.4)

@@ -39,6 +39,26 @@ class TestEliminateLaps:
         with pytest.raises(SplittingDidNotConverge):
             eliminate_laps(pinwheel, max_steps=2)
 
+    def test_budget_is_per_facet_not_global(self, majority):
+        # regression: the docstring/error message used to imply max_steps
+        # bounded the whole pipeline, but the counter resets per facet.
+        # Canonical majority needs 42 splits total, at most 12 in any one
+        # facet — so a "global" budget of 12 would have to fail, while the
+        # actual per-facet budget succeeds.
+        canon = canonicalize_if_needed(majority).task
+        result = eliminate_laps(canon, max_steps=12)
+        assert result.n_splits == 42
+        assert is_link_connected_task(result.task)
+
+    def test_budget_message_names_facet_and_semantics(self, majority):
+        canon = canonicalize_if_needed(majority).task
+        with pytest.raises(SplittingDidNotConverge) as excinfo:
+            eliminate_laps(canon, max_steps=11)
+        message = str(excinfo.value)
+        assert "per-facet" in message
+        assert "resets for each facet" in message
+        assert "<(0:1), (1:1), (2:0)>" in message  # the facet that blew it
+
     def test_project_vertex_unsplits(self, pinwheel):
         result = eliminate_laps(pinwheel)
         for v in result.task.output_complex.vertices:

@@ -1,4 +1,11 @@
-"""Unit tests for the command-line interface."""
+"""Unit tests for the command-line interface.
+
+Exit codes follow one convention across every subcommand (documented in
+the ``python -m repro`` epilog): 0 success / definitive answer, 1 failure
+(violations, synthesis failure, check findings, invalid input), 2
+inconclusive (UNKNOWN) or usage error.  The failure paths are pinned per
+subcommand below; ``tests/check/test_cli_check.py`` covers ``check``'s.
+"""
 
 import json
 
@@ -64,6 +71,77 @@ class TestAnalyze:
         save_task(hourglass_task(), str(path))
         assert main(["analyze", str(path)]) == 0
 
+    def test_unknown_verdict_exits_2(self, capsys):
+        assert main(["analyze", "approx-agreement", "--max-rounds", "0"]) == 2
+
+
+class TestDecide:
+    def test_unsolvable_task(self, capsys):
+        assert main(["decide", "hourglass"]) == 0
+        out = capsys.readouterr().out
+        assert "unsolvable" in out
+        assert "corollary" in out
+
+    def test_solvable_task(self, capsys):
+        assert main(["decide", "identity"]) == 0
+        out = capsys.readouterr().out
+        assert "solvable" in out
+        assert "witness map" in out
+
+    def test_unknown_verdict_exits_2(self, capsys):
+        assert main(["decide", "approx-agreement", "--max-rounds", "0"]) == 2
+        assert "budgets exhausted" in capsys.readouterr().out
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(SystemExit, match="unknown task"):
+            main(["decide", "martian-task"])
+
+    def test_trace_export_is_schema_valid(self, tmp_path, capsys):
+        from repro.obs import validate_trace
+
+        out = tmp_path / "trace.json"
+        assert main(["decide", "majority", "--trace", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert validate_trace(payload) == []
+        assert payload["meta"]["command"] == "decide majority"
+        assert payload["spans"][0]["name"] == "decide"
+
+
+class TestTrace:
+    def _write_trace(self, tmp_path, name="trace.json"):
+        out = tmp_path / name
+        main(["decide", "hourglass", "--trace", str(out)])
+        return out
+
+    def test_summary_renders_valid_trace(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "decide" in out and "transform" in out
+
+    def test_validate_accepts_valid_traces(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path)
+        assert main(["trace", "validate", str(path), str(path)]) == 0
+
+    def test_validate_rejects_corrupt_trace(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["schema"] = "wrong/0"
+        path.write_text(json.dumps(payload))
+        assert main(["trace", "validate", str(path)]) == 1
+        assert "schema" in capsys.readouterr().err
+
+    def test_one_bad_file_fails_the_batch(self, tmp_path, capsys):
+        good = self._write_trace(tmp_path, "good.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["trace", "validate", str(good), str(bad)]) == 1
+
+    def test_summary_rejects_missing_file(self, tmp_path, capsys):
+        assert main(["trace", "summary", str(tmp_path / "absent.json")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
 
 class TestSynthesize:
     def test_identity(self, capsys):
@@ -107,8 +185,117 @@ class TestCensus:
         with pytest.raises(SystemExit, match="--seeds must be non-negative"):
             main(["census", "--seeds", "-5"])
 
+    def test_trace_export_aggregates_workers(self, tmp_path, capsys):
+        from repro.obs import validate_trace
+
+        out = tmp_path / "census-trace.json"
+        code = main(
+            [
+                "census",
+                "--seeds",
+                "4",
+                "--workers",
+                "2",
+                "--chunksize",
+                "2",
+                "--trace",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert validate_trace(payload) == []
+        assert len(payload["workers"]) == 2  # one snapshot per chunk
+        assert payload["aggregate"]["counters"]["census.tasks"] == 4.0
+
+
+CONFORM_FAST = ["--random-runs", "1", "--exhaustive", "4", "--no-adversarial"]
+
+
+class TestConform:
+    def test_solvable_task_passes(self, capsys):
+        assert main(["conform", "--tasks", "identity"] + CONFORM_FAST) == 0
+        out = capsys.readouterr().out
+        assert "solvable" in out
+        assert "0 violations" in out
+
+    def test_nothing_to_conform_rejected(self):
+        with pytest.raises(SystemExit, match="nothing to conform"):
+            main(["conform"])
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(SystemExit, match="--workers must be at least 1"):
+            main(["conform", "--tasks", "identity", "--workers", "0"])
+
+    def test_raising_task_is_reported_not_fatal(self, capsys, monkeypatch):
+        # regression: an exception inside one task's conformance used to
+        # propagate out of pool.map and abort the whole campaign; it must
+        # instead surface as a status="error" row and exit code 1.
+        import repro.runtime.conformance as conformance
+
+        def _boom(task, config=None, name=None):
+            raise RuntimeError("injected task failure")
+
+        monkeypatch.setattr(conformance, "conform_task", _boom)
+        code = main(
+            ["conform", "--tasks", "identity,constant", "--workers", "1"]
+            + CONFORM_FAST
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert out.count("error: RuntimeError: injected task failure") == 2
+        assert "2 tasks" in out  # both rows survived the failures
+
+    def test_raising_pool_worker_is_reported_not_fatal(self, capsys, monkeypatch):
+        # same, through a real multiprocessing pool (fork inherits the patch)
+        import repro.runtime.conformance as conformance
+
+        def _boom(task, config=None, name=None):
+            raise RuntimeError("injected worker failure")
+
+        monkeypatch.setattr(conformance, "conform_task", _boom)
+        code = main(
+            [
+                "conform",
+                "--tasks",
+                "identity,constant",
+                "--workers",
+                "2",
+            ]
+            + CONFORM_FAST
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert out.count("error: RuntimeError: injected worker failure") == 2
+
+    def test_trace_export_is_schema_valid(self, tmp_path, capsys):
+        from repro.obs import validate_trace
+
+        out = tmp_path / "conform-trace.json"
+        code = main(
+            ["conform", "--tasks", "identity", "--trace", str(out)]
+            + CONFORM_FAST
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert validate_trace(payload) == []
+        names = [s["name"] for s in payload["spans"]]
+        assert "conform.task" in names
+
 
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_usage_error_exits_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["no-such-command"])
+        assert excinfo.value.code == 2
+
+    def test_epilog_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "exit codes" in out

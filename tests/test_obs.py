@@ -1,0 +1,294 @@
+"""Unit tests for the repro.obs tracing/metrics layer.
+
+Covers the recorder (spans, counters, gauges, worker snapshots), the
+``repro-trace/1`` export schema, and the text summary — without touching
+the instrumented decision pipeline (``tests/test_obs_integration.py``
+does that end-to-end).
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    SCHEMA,
+    Recorder,
+    build_trace,
+    capture_worker,
+    counter_add,
+    format_trace_summary,
+    gauge_set,
+    get_recorder,
+    merge_cache_maps,
+    merge_worker_snapshot,
+    reset_recorder,
+    set_tracing,
+    span,
+    tracing,
+    tracing_enabled,
+    validate_trace,
+    write_trace,
+)
+from repro.topology import cache_clear
+
+
+@pytest.fixture(autouse=True)
+def _clean_recorder():
+    """Every test gets a fresh recorder and starts with tracing off."""
+    set_tracing(False)
+    reset_recorder()
+    yield
+    set_tracing(False)
+    reset_recorder()
+
+
+class TestDisabledByDefault:
+    def test_tracing_starts_disabled(self):
+        assert not tracing_enabled()
+
+    def test_span_is_shared_noop_singleton(self):
+        a, b = span("x"), span("y", attr=1)
+        assert a is b  # one shared object: no allocation on the hot path
+        with a as record:
+            assert record is None
+        assert get_recorder().roots == []
+
+    def test_counters_and_gauges_are_noops(self):
+        counter_add("n", 5.0)
+        gauge_set("g", 1.0)
+        rec = get_recorder()
+        assert rec.counters == {} and rec.gauges == {}
+
+    def test_annotate_tolerates_disabled_none(self):
+        obs.annotate(None, anything="goes")  # must not raise
+
+
+class TestRecording:
+    def test_span_tree_nesting_and_attrs(self):
+        with tracing():
+            with span("outer", task="t") as outer:
+                with span("inner", idx=0):
+                    pass
+                with span("inner", idx=1):
+                    pass
+                obs.annotate(outer, status="done")
+        rec = get_recorder()
+        assert [r.name for r in rec.roots] == ["outer"]
+        outer_rec = rec.roots[0]
+        assert outer_rec.attrs == {"task": "t", "status": "done"}
+        assert [c.name for c in outer_rec.children] == ["inner", "inner"]
+        assert [c.attrs["idx"] for c in outer_rec.children] == [0, 1]
+        assert rec.span_names() == ["outer", "inner", "inner"]
+        assert rec.find_span("inner").attrs["idx"] == 0
+        assert rec.find_span("absent") is None
+
+    def test_name_is_a_legal_attribute_key(self):
+        # regression: span()'s positional parameter shadowed an attrs key
+        # called "name" (TypeError: multiple values for argument 'name')
+        with tracing():
+            with span("conform.task", name="identity") as record:
+                obs.annotate(record, name="identity-renamed")
+        root = get_recorder().roots[0]
+        assert root.name == "conform.task"
+        assert root.attrs["name"] == "identity-renamed"
+
+    def test_span_timings_populated(self):
+        with tracing():
+            with span("timed"):
+                sum(range(1000))
+        record = get_recorder().roots[0]
+        assert record.wall_seconds >= 0.0
+        assert record.cpu_seconds >= 0.0
+        assert record.start_unix > 0.0
+
+    def test_exception_annotates_error_and_pops_stack(self):
+        with tracing():
+            with pytest.raises(ValueError):
+                with span("boom"):
+                    raise ValueError("bad input")
+            # the stack unwound: a new span is a root, not a child of boom
+            with span("after"):
+                pass
+        rec = get_recorder()
+        assert rec.roots[0].attrs["error"] == "ValueError: bad input"
+        assert [r.name for r in rec.roots] == ["boom", "after"]
+
+    def test_counters_accumulate_and_gauges_overwrite(self):
+        with tracing():
+            counter_add("steps")
+            counter_add("steps", 2.0)
+            gauge_set("pop", 5.0)
+            gauge_set("pop", 7.0)
+        rec = get_recorder()
+        assert rec.counters == {"steps": 3.0}
+        assert rec.gauges == {"pop": 7.0}
+
+    def test_tracing_context_restores_previous_state(self):
+        assert not tracing_enabled()
+        with tracing():
+            assert tracing_enabled()
+            with tracing(False):
+                assert not tracing_enabled()
+            assert tracing_enabled()
+        assert not tracing_enabled()
+
+    def test_reset_recorder_returns_old_state(self):
+        with tracing():
+            counter_add("kept")
+        old = reset_recorder()
+        assert old.counters == {"kept": 1.0}
+        assert get_recorder().counters == {}
+
+
+class TestCacheDelta:
+    def test_own_cache_is_delta_since_recorder_creation(self):
+        from repro.topology.complexes import SimplicialComplex
+
+        cache_clear()
+        warm = SimplicialComplex([("a", "b", "c")])
+        warm.f_vector()  # pre-recorder activity must not be attributed
+        rec = reset_recorder()  # noqa: F841 - fresh baseline from here on
+        k = SimplicialComplex([("x", "y", "z")])
+        k.f_vector()
+        k.f_vector()
+        own = get_recorder().own_cache()
+        stats = own["SimplicialComplex.f_vector"]
+        assert stats == {"hits": 1, "misses": 1, "hit_rate": 0.5}
+        cache_clear()
+
+    def test_cache_clear_mid_run_never_goes_negative(self):
+        from repro.topology.complexes import SimplicialComplex
+
+        cache_clear()
+        reset_recorder()
+        k = SimplicialComplex([("x", "y", "z")])
+        k.f_vector()
+        cache_clear()  # raw counters reset below the recorder's baseline
+        own = get_recorder().own_cache()
+        for stats in own.values():
+            assert stats["hits"] >= 0 and stats["misses"] >= 0
+
+    def test_merge_cache_maps_sums_and_recomputes_rate(self):
+        merged = merge_cache_maps(
+            {"q": {"hits": 1, "misses": 3, "hit_rate": 0.25}},
+            {"q": {"hits": 3, "misses": 1, "hit_rate": 0.75}},
+            {"other": {"hits": 2, "misses": 0, "hit_rate": 1.0}},
+        )
+        assert merged["q"] == {"hits": 4, "misses": 4, "hit_rate": 0.5}
+        assert merged["other"]["hits"] == 2
+
+
+class TestWorkerAggregation:
+    def test_capture_worker_snapshots_and_restores(self):
+        with tracing():
+            counter_add("parent.only")
+        with capture_worker() as capture:
+            with span("work"):
+                counter_add("worker.steps", 4.0)
+        # the worker block recorded into its own recorder, not the parent's
+        assert "worker.steps" not in get_recorder().counters
+        snap = capture.snapshot
+        assert snap["counters"] == {"worker.steps": 4.0}
+        assert [s["name"] for s in snap["spans"]] == ["work"]
+        assert isinstance(snap["worker"], int)
+        assert not tracing_enabled()  # previous flag restored
+
+    def test_merge_worker_snapshot_feeds_aggregates(self):
+        with tracing():
+            counter_add("steps", 1.0)
+        for _ in range(2):
+            with capture_worker() as capture:
+                counter_add("steps", 2.0)
+                counter_add("worker.extra")
+            merge_worker_snapshot(capture.snapshot)
+        rec = get_recorder()
+        assert len(rec.worker_snapshots) == 2
+        assert rec.aggregate_counters() == {"steps": 5.0, "worker.extra": 2.0}
+        # the parent's own counters are untouched by the merge
+        assert rec.counters == {"steps": 1.0}
+
+
+def _recorded_trace():
+    """A small real trace: parent span/counters plus one worker snapshot."""
+    reset_recorder()
+    with tracing():
+        with span("decide", task="unit"):
+            with span("transform"):
+                counter_add("splits", 3.0)
+        gauge_set("population", 1.0)
+    with capture_worker() as capture:
+        with span("work"):
+            counter_add("splits", 2.0)
+    merge_worker_snapshot(capture.snapshot)
+    return build_trace(meta={"command": "unit-test"})
+
+
+class TestExport:
+    def test_build_trace_shape_and_validity(self):
+        payload = _recorded_trace()
+        assert payload["schema"] == SCHEMA
+        assert validate_trace(payload) == []
+        assert payload["meta"] == {"command": "unit-test"}
+        assert [s["name"] for s in payload["spans"]] == ["decide"]
+        assert payload["spans"][0]["children"][0]["name"] == "transform"
+        assert payload["aggregate"]["counters"]["splits"] == 5.0
+
+    def test_write_trace_roundtrips(self, tmp_path):
+        _recorded_trace()
+        path = tmp_path / "trace.json"
+        payload = write_trace(str(path), meta={"command": "unit-test"})
+        on_disk = json.loads(path.read_text())
+        assert validate_trace(on_disk) == []
+        assert on_disk["counters"] == payload["counters"]
+
+    def test_validate_trace_rejects_malformed_payloads(self):
+        assert validate_trace(None) != []
+        assert validate_trace({}) != []
+        good = json.loads(json.dumps(_recorded_trace()))
+        assert validate_trace(good) == []
+
+        for mutate in (
+            lambda p: p.update(schema="wrong/0"),
+            lambda p: p.update(spans="not-a-list"),
+            lambda p: p["spans"][0].update(name=""),
+            lambda p: p["spans"][0].update(wall_seconds=-1.0),
+            lambda p: p["spans"][0]["children"][0].update(cpu_seconds="fast"),
+            lambda p: p.update(counters={"x": "NaN-ish"}),
+            lambda p: p["workers"][0].update(worker="pid"),
+            lambda p: p["workers"][0]["cache"].update(
+                q={"hits": -1, "misses": 0, "hit_rate": 0.0}
+            ),
+            lambda p: p["aggregate"]["counters"].update(splits=99.0),
+            lambda p: p["aggregate"].pop("cache"),
+        ):
+            payload = json.loads(json.dumps(good))
+            mutate(payload)
+            assert validate_trace(payload) != [], mutate
+
+    def test_validate_trace_rejects_drifted_cache_aggregate(self):
+        payload = json.loads(json.dumps(_recorded_trace()))
+        payload["workers"][0]["cache"]["phantom"] = {
+            "hits": 5,
+            "misses": 5,
+            "hit_rate": 0.5,
+        }
+        problems = validate_trace(payload)
+        assert any("aggregate.cache" in p for p in problems)
+
+
+class TestSummary:
+    def test_summary_mentions_spans_counters_and_workers(self):
+        payload = _recorded_trace()
+        text = format_trace_summary(payload)
+        assert SCHEMA in text
+        assert "decide" in text and "transform" in text
+        assert "splits" in text
+        assert "population" in text
+        assert "worker" in text.lower()
+
+    def test_summary_max_depth_truncates(self):
+        payload = _recorded_trace()
+        shallow = format_trace_summary(payload, max_depth=0)
+        assert "decide" in shallow
+        assert "transform" not in shallow

@@ -83,6 +83,51 @@ def test_validate_report_catches_malformed_payloads():
         assert validate_report(payload) != [], mutate
 
 
+def test_validate_report_rejects_corrupted_mean():
+    # regression: best_seconds was cross-checked against seconds_each but
+    # mean_seconds was not, so a corrupted mean validated clean
+    payload = json.loads(json.dumps(_tiny_harness().to_report()))
+    payload["results"][0]["mean_seconds"] = 123.0
+    problems = validate_report(payload)
+    assert problems != []
+    assert any("mean_seconds" in p for p in problems)
+
+
+def test_validate_report_rejects_duplicate_measurement_names():
+    # regression: duplicate names validated clean even though harness
+    # lookups (and speedups) silently resolve to the first match
+    payload = json.loads(json.dumps(_tiny_harness().to_report()))
+    clone = json.loads(json.dumps(payload["results"][0]))
+    payload["results"].append(clone)
+    problems = validate_report(payload)
+    assert problems != []
+    assert any("duplicate" in p for p in problems)
+
+
+def test_measure_rejects_duplicate_name():
+    h = PerfHarness("unit")
+    h.measure("same", sum, range(10))
+    with pytest.raises(ValueError, match="duplicate measurement name"):
+        h.measure("same", sum, range(20))
+    # the failed call must not have recorded anything
+    assert [m.name for m in h.measurements] == ["same"]
+
+
+@pytest.mark.parametrize("degenerate", [0.0, -1.0, float("inf"), float("nan")])
+def test_speedup_raises_on_degenerate_contender(degenerate):
+    # regression: a ~0s contender was clamped to 1e-12, fabricating a
+    # huge finite speedup for cached no-op workloads
+    h = PerfHarness("unit")
+    h.measurements.append(Measurement("slow", [1.0]))
+    h.measurements.append(Measurement("zero", [degenerate]))
+    with pytest.raises(ValueError, match="degenerate best time"):
+        h.speedup("slow", "zero")
+    with pytest.raises(ValueError, match="degenerate best time"):
+        h.speedup("zero", "slow")
+    # no bogus derived ratio may survive the failed computation
+    assert h.derived == {}
+
+
 def test_write_refuses_invalid_report(tmp_path):
     h = PerfHarness("unit")  # no measurements -> empty results
     with pytest.raises(ValueError):
