@@ -26,8 +26,19 @@ Commands
     with its certificate (obstruction kind or witness depth).
 ``trace``
     Work with ``repro-trace/1`` JSON exports produced by ``--trace``:
-    ``trace summary`` pretty-prints the span tree and aggregate counters,
-    ``trace validate`` schema-checks one or more files (for CI).
+    ``trace summary`` pretty-prints the span tree and aggregate counters
+    (``--top``/``--sort``/``--min-ms`` tame census-sized traces),
+    ``trace validate`` schema-checks one or more files (for CI),
+    ``trace flame`` emits collapsed stacks for flamegraph.pl/speedscope,
+    ``trace export --chrome`` emits Chrome trace-event JSON.
+``obs``
+    Query the persistent telemetry store every traced invocation appends
+    to (``repro-run/1`` JSONL; ``--store`` flag > ``REPRO_TELEMETRY``
+    env > ``.repro/telemetry.jsonl``): ``obs trend`` renders per-metric
+    history, ``obs diff`` compares two runs under a noise-tolerant
+    threshold model and exits non-zero on regression, ``obs ingest``
+    folds ``benchmarks/BENCH_*.json`` perf reports into the store,
+    ``obs validate`` schema-checks the store, ``obs list`` shows runs.
 
 Exit codes
 ----------
@@ -90,31 +101,57 @@ def _resolve_task(spec: str) -> Task:
 
 
 @contextlib.contextmanager
-def _tracing_to(path, command: str):
-    """Trace the wrapped command into ``path`` (no-op when ``path`` is None).
+def _tracing_to(args, command: str, task: str | None = None):
+    """Trace the wrapped command per its ``--trace``/``--store`` flags.
 
-    Resets the session recorder so the export covers exactly this
-    command, enables tracing for its duration, and writes the
-    schema-validated ``repro-trace/1`` JSON on the way out — including
-    when the command fails, so a crashing run still leaves its trace.
+    A no-op unless the command asked for observability via ``--trace``
+    (write a ``repro-trace/1`` JSON export), ``--store`` (append a
+    ``repro-run/1`` record to an explicit telemetry store) or
+    ``--profile-memory`` (tracemalloc peak-bytes span attrs).  Resets
+    the session recorder so the export covers exactly this command,
+    enables tracing for its duration, and exports on the way out —
+    including when the command fails, so a crashing run still leaves
+    its trace.
+
+    Every traced invocation also appends one run record to the
+    telemetry store (``--store`` > ``REPRO_TELEMETRY`` >
+    ``.repro/telemetry.jsonl``), which is what ``obs trend`` / ``obs
+    diff`` query — the cross-commit history a single trace file cannot
+    provide.
     """
-    if not path:
+    trace_path = getattr(args, "trace", None)
+    store_arg = getattr(args, "store", None)
+    profile_memory = bool(getattr(args, "profile_memory", False))
+    if not (trace_path or store_arg or profile_memory):
         yield
         return
     obs.reset_recorder()
-    previous = obs.tracing_enabled()
-    obs.set_tracing(True)
+    previous = obs.set_tracing(True)
+    previous_mem = obs.set_memory_profiling(True) if profile_memory else None
     try:
         yield
     finally:
         obs.set_tracing(previous)
-        obs.write_trace(path, meta={"command": command})
-        print(f"wrote {path}")
+        if previous_mem is not None:
+            obs.set_memory_profiling(previous_mem)
+        if trace_path:
+            payload = obs.write_trace(trace_path, meta={"command": command})
+            print(f"wrote {trace_path}")
+        else:
+            payload = obs.build_trace(meta={"command": command})
+        record = obs.build_run_record(
+            payload,
+            command=command.split()[0],
+            argv=list(getattr(args, "_argv", []) or []),
+            task=task,
+        )
+        store_path = obs.append_run(record, obs.resolve_store_path(store_arg))
+        print(f"recorded run {record['run_id']} in {store_path}")
 
 
 def cmd_decide(args) -> int:
     task = _resolve_task(args.task)
-    with _tracing_to(args.trace, f"decide {args.task}"):
+    with _tracing_to(args, f"decide {args.task}", task=args.task):
         verdict = decide_solvability(task, max_rounds=args.max_rounds)
     print(f"task:    {task.name or args.task}")
     print(f"status:  {verdict.status.value}")
@@ -138,15 +175,56 @@ def _load_trace(path: str):
         return None, [f"{path}: cannot read trace: {exc}"]
 
 
+def _load_valid_trace(path: str):
+    """One validated trace payload, or ``None`` after printing problems."""
+    payload, problems = _load_trace(path)
+    problems.extend(obs.validate_trace(payload) if payload is not None else [])
+    if problems:
+        for problem in problems:
+            print(f"invalid trace: {problem}", file=sys.stderr)
+        return None
+    return payload
+
+
 def cmd_trace(args) -> int:
     if args.action == "summary":
-        payload, problems = _load_trace(args.files[0])
-        problems.extend(obs.validate_trace(payload) if payload is not None else [])
-        if problems:
-            for problem in problems:
-                print(f"invalid trace: {problem}", file=sys.stderr)
+        payload = _load_valid_trace(args.files[0])
+        if payload is None:
             return 1
-        print(obs.format_trace_summary(payload, max_depth=args.max_depth))
+        print(
+            obs.format_trace_summary(
+                payload,
+                max_depth=args.max_depth,
+                top=args.top,
+                sort=args.sort,
+                min_ms=args.min_ms,
+            )
+        )
+        return 0
+    if args.action == "flame":
+        payload = _load_valid_trace(args.files[0])
+        if payload is None:
+            return 1
+        if args.out:
+            n = obs.write_folded(args.out, payload, metric=args.metric)
+            print(f"wrote {n} folded stack(s) to {args.out}")
+        else:
+            print(obs.format_profile(payload, metric=args.metric))
+        return 0
+    if args.action == "export":
+        if not args.chrome:
+            raise SystemExit(
+                "trace export needs an output format: pass --chrome "
+                "(Chrome trace-event JSON for chrome://tracing/Perfetto)"
+            )
+        payload = _load_valid_trace(args.files[0])
+        if payload is None:
+            return 1
+        if args.out:
+            obs.write_chrome_trace(args.out, payload)
+            print(f"wrote {args.out}")
+        else:
+            print(json.dumps(obs.chrome_trace(payload), indent=2, sort_keys=True))
         return 0
     failures = 0
     for path in args.files:
@@ -160,6 +238,106 @@ def cmd_trace(args) -> int:
         else:
             print(f"{path}: valid {obs.SCHEMA}")
     return 1 if failures else 0
+
+
+def cmd_obs(args) -> int:
+    store_path = obs.resolve_store_path(args.store)
+    if args.action == "ingest":
+        if not args.refs:
+            raise SystemExit("obs ingest needs one or more BENCH_*.json files")
+        failures = 0
+        for path in args.refs:
+            try:
+                record = obs.load_record_file(path)
+            except (OSError, ValueError) as exc:
+                print(f"{path}: {exc}", file=sys.stderr)
+                failures += 1
+                continue
+            obs.append_run(record, store_path)
+            print(f"ingested {path} as run {record['run_id']}")
+        return 1 if failures else 0
+
+    records, problems = obs.load_store(store_path)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+
+    if args.action == "validate":
+        if problems:
+            return 1
+        if not records:
+            print(f"{store_path}: no runs recorded", file=sys.stderr)
+            return 1
+        print(f"{store_path}: {len(records)} valid {obs.RUN_SCHEMA} record(s)")
+        return 0
+
+    if args.action == "list":
+        if not records:
+            print("telemetry store is empty (record runs with --trace/--store first)")
+            return 0
+        for record in records:
+            spans = record.get("spans", {})
+            wall = sum(entry["wall_seconds"] for entry in spans.values())
+            print(
+                f"{record['run_id']}  "
+                f"{record['command']:<12} {record.get('task') or '':<12} "
+                f"{wall:8.3f}s  sha={str(record.get('git_sha') or '?')[:9]}"
+            )
+        return 0
+
+    if args.action == "trend":
+        print(
+            obs.format_trend(
+                records,
+                metric=args.metric,
+                last=args.last,
+                command=args.command_filter,
+            )
+        )
+        return 0
+
+    # diff: --baseline FILE vs latest matching run, or two run references
+    thresholds = obs.Thresholds(
+        min_seconds=args.min_seconds,
+        rel_tolerance=args.rel_tol,
+        counter_tolerance=args.counter_tol,
+        cache_tolerance=args.cache_tol,
+    )
+    try:
+        if args.baseline:
+            before = obs.load_record_file(args.baseline)
+            if args.refs:
+                after = obs.find_run(records, args.refs[0])
+            else:
+                # same command AND same task: diffing `decide majority`
+                # against `decide identity` would chart apples vs oranges
+                pool = [
+                    r
+                    for r in records
+                    if before.get("task") is None
+                    or r.get("task") == before["task"]
+                ]
+                after = obs.latest_run(pool, command=before["command"])
+                if after is None:
+                    what = before["command"] + (
+                        f" {before['task']}" if before.get("task") else ""
+                    )
+                    raise ValueError(
+                        f"store {store_path} has no {what!r} run to "
+                        "compare against the baseline"
+                    )
+        else:
+            if len(args.refs) != 2:
+                raise ValueError(
+                    "obs diff needs two run references (id prefix or index), "
+                    "or --baseline FILE [REF]"
+                )
+            before = obs.find_run(records, args.refs[0])
+            after = obs.find_run(records, args.refs[1])
+    except (OSError, ValueError) as exc:
+        raise SystemExit(str(exc)) from exc
+    deltas = obs.diff_records(before, after, thresholds)
+    print(obs.format_diff(before, after, deltas, show_ok=args.show_ok))
+    return 1 if obs.regressions(deltas) else 0
 
 
 def cmd_list(_args) -> int:
@@ -181,7 +359,8 @@ def cmd_analyze(args) -> int:
             preflight_check(task)
         except PreflightError as exc:
             raise SystemExit(str(exc)) from exc
-    report = analyze_task(task, max_rounds=args.max_rounds)
+    with _tracing_to(args, f"analyze {args.task}", task=args.task):
+        report = analyze_task(task, max_rounds=args.max_rounds)
     print(report)
     if args.dot:
         write_dot(task.output_complex, f"{args.dot}-output.dot")
@@ -209,20 +388,21 @@ def cmd_analyze(args) -> int:
 
 def cmd_synthesize(args) -> int:
     task = _resolve_task(args.task)
-    try:
-        protocol = synthesize_protocol(
-            task, max_rounds=args.max_rounds, prefer_direct=not args.figure7
+    with _tracing_to(args, f"synthesize {args.task}", task=args.task):
+        try:
+            protocol = synthesize_protocol(
+                task, max_rounds=args.max_rounds, prefer_direct=not args.figure7
+            )
+        except Exception as exc:
+            print(f"synthesis failed: {exc}", file=sys.stderr)
+            return 1
+        print(f"synthesized {protocol.mode} protocol, r={protocol.rounds}")
+        report = validate_protocol(
+            task,
+            protocol.factories,
+            participation="facets" if args.facets_only else "all",
+            random_runs=args.runs,
         )
-    except Exception as exc:
-        print(f"synthesis failed: {exc}", file=sys.stderr)
-        return 1
-    print(f"synthesized {protocol.mode} protocol, r={protocol.rounds}")
-    report = validate_protocol(
-        task,
-        protocol.factories,
-        participation="facets" if args.facets_only else "all",
-        random_runs=args.runs,
-    )
     status = "all executions legal" if report.ok else "VIOLATIONS FOUND"
     print(f"validated over {report.runs} executions: {status}")
     for v in report.violations[:3]:
@@ -243,7 +423,7 @@ def cmd_census(args) -> int:
             f"--workers must be at least 1 (got {args.workers}); omit the flag "
             "to use one process per CPU"
         )
-    with _tracing_to(args.trace, f"census --seeds {args.seeds}"):
+    with _tracing_to(args, f"census --seeds {args.seeds}"):
         if args.workers is not None and args.workers != 1:
             runner = parallel_sparse_census if args.sparse else parallel_census
             census = runner(
@@ -291,7 +471,7 @@ def cmd_conform(args) -> int:
         prefer_direct=not args.figure7,
         shrink=not args.no_shrink,
     )
-    with _tracing_to(args.trace, f"conform {','.join(names)}"):
+    with _tracing_to(args, f"conform {','.join(names)}"):
         report = run_campaign(names, config, workers=args.workers)
     width = max(len(t.name) for t in report.tasks)
     for t in report.tasks:
@@ -323,6 +503,33 @@ def cmd_conform(args) -> int:
     return 0 if report.ok else 1
 
 
+def _add_observability_args(p: argparse.ArgumentParser) -> None:
+    """``--trace`` / ``--store`` / ``--profile-memory`` for traced commands.
+
+    Any of the three switches tracing on for the command; every traced
+    invocation appends one ``repro-run/1`` record to the telemetry store
+    (``--store`` > ``REPRO_TELEMETRY`` > ``.repro/telemetry.jsonl``).
+    """
+    p.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="export a repro-trace/1 JSON span/counter trace of the run",
+    )
+    p.add_argument(
+        "--store",
+        metavar="FILE",
+        help="append this run's repro-run/1 telemetry record to FILE "
+        "(implies tracing; default store: $REPRO_TELEMETRY or "
+        ".repro/telemetry.jsonl)",
+    )
+    p.add_argument(
+        "--profile-memory",
+        action="store_true",
+        help="attach tracemalloc peak-bytes attrs to spans "
+        "(implies tracing; slows allocation-heavy stages)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -350,6 +557,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dot", metavar="PREFIX", help="export DOT drawings")
     p.add_argument("--json", metavar="FILE", help="write a JSON summary")
     p.add_argument("--save-split", metavar="FILE", help="save the split task")
+    _add_observability_args(p)
     p.set_defaults(fn=cmd_analyze)
 
     p = sub.add_parser(
@@ -359,22 +567,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("task", help="zoo name or task JSON file")
     p.add_argument("--max-rounds", type=int, default=2)
-    p.add_argument(
-        "--trace",
-        metavar="FILE",
-        help="export a repro-trace/1 JSON span/counter trace of the decision",
-    )
+    _add_observability_args(p)
     p.set_defaults(fn=cmd_decide)
 
     p = sub.add_parser(
         "trace",
-        help="summarize or validate repro-trace/1 JSON exports",
+        help="summarize, validate or export repro-trace/1 JSON traces",
     )
     p.add_argument(
         "action",
-        choices=["summary", "validate"],
+        choices=["summary", "validate", "flame", "export"],
         help="'summary' pretty-prints one trace; 'validate' schema-checks "
-        "each file (exit 1 on any invalid trace)",
+        "each file (exit 1 on any invalid trace); 'flame' emits collapsed "
+        "stacks for flamegraph.pl/speedscope; 'export --chrome' emits "
+        "Chrome trace-event JSON",
     )
     p.add_argument("files", nargs="+", metavar="FILE")
     p.add_argument(
@@ -383,7 +589,128 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="truncate the span tree below this depth (summary only)",
     )
+    p.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        metavar="N",
+        help="summary: replace the span tree with the N busiest span names "
+        "(essential on census/conformance traces)",
+    )
+    p.add_argument(
+        "--sort",
+        choices=["wall", "cpu", "count"],
+        default="wall",
+        help="summary: ordering for the --top table (default wall)",
+    )
+    p.add_argument(
+        "--min-ms",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="summary: hide spans (and their subtrees) faster than MS "
+        "milliseconds wall",
+    )
+    p.add_argument(
+        "--metric",
+        choices=["wall", "cpu"],
+        default="wall",
+        help="flame: which clock the folded counts measure (default wall)",
+    )
+    p.add_argument(
+        "--chrome",
+        action="store_true",
+        help="export: emit Chrome trace-event JSON "
+        "(chrome://tracing, Perfetto, speedscope)",
+    )
+    p.add_argument(
+        "--out",
+        metavar="FILE",
+        help="flame/export: write to FILE instead of stdout",
+    )
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "obs",
+        help="query the telemetry run store "
+        "(history, regression diffs, bench ingest)",
+    )
+    p.add_argument(
+        "action",
+        choices=["trend", "diff", "ingest", "validate", "list"],
+        help="'trend' renders per-metric history; 'diff' compares two runs "
+        "and exits 1 on regression; 'ingest' folds repro-perf/1 bench "
+        "reports into the store; 'validate' schema-checks the store; "
+        "'list' shows recorded runs",
+    )
+    p.add_argument(
+        "refs",
+        nargs="*",
+        metavar="REF",
+        help="diff: two run references (id prefix or store index, e.g. -1); "
+        "ingest: BENCH_*.json files",
+    )
+    p.add_argument(
+        "--store",
+        metavar="FILE",
+        help="telemetry store path (default: $REPRO_TELEMETRY or "
+        ".repro/telemetry.jsonl)",
+    )
+    p.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="diff: compare this committed repro-run/1 (or repro-perf/1) "
+        "record against the latest store run with the same command",
+    )
+    p.add_argument(
+        "--metric",
+        metavar="SUBSTR",
+        help="trend: only metrics whose name contains SUBSTR",
+    )
+    p.add_argument(
+        "--last",
+        type=int,
+        default=10,
+        metavar="N",
+        help="trend: newest N runs per series (default 10)",
+    )
+    p.add_argument(
+        "--command",
+        dest="command_filter",
+        metavar="CMD",
+        help="trend: restrict to one subcommand's runs (e.g. decide)",
+    )
+    p.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.05,
+        help="diff: spans faster than this never gate (noise floor, "
+        "default 0.05)",
+    )
+    p.add_argument(
+        "--rel-tol",
+        type=float,
+        default=0.25,
+        help="diff: allowed relative span wall-time growth (default 0.25)",
+    )
+    p.add_argument(
+        "--counter-tol",
+        type=float,
+        default=0.10,
+        help="diff: allowed relative counter growth (default 0.10)",
+    )
+    p.add_argument(
+        "--cache-tol",
+        type=float,
+        default=0.05,
+        help="diff: allowed absolute cache hit-rate drop (default 0.05)",
+    )
+    p.add_argument(
+        "--show-ok",
+        action="store_true",
+        help="diff: also print within-tolerance metrics",
+    )
+    p.set_defaults(fn=cmd_obs)
 
     p = sub.add_parser("synthesize", help="synthesize and validate a protocol")
     p.add_argument("task")
@@ -391,6 +718,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--figure7", action="store_true", help="force the Figure 7 mode")
     p.add_argument("--runs", type=int, default=10, help="random schedules per input")
     p.add_argument("--facets-only", action="store_true")
+    _add_observability_args(p)
     p.set_defaults(fn=cmd_synthesize)
 
     p = sub.add_parser("census", help="decide a random-task population")
@@ -407,11 +735,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--chunksize", type=int, default=8, help="seeds per work item (at least 1)"
     )
-    p.add_argument(
-        "--trace",
-        metavar="FILE",
-        help="export a repro-trace/1 JSON trace (aggregates worker caches)",
-    )
+    _add_observability_args(p)
     p.set_defaults(fn=cmd_census)
 
     p = sub.add_parser(
@@ -467,11 +791,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(omit for one process per CPU)",
     )
     p.add_argument("--json", metavar="FILE", help="write the JSON report")
-    p.add_argument(
-        "--trace",
-        metavar="FILE",
-        help="export a repro-trace/1 JSON trace (aggregates worker caches)",
-    )
+    _add_observability_args(p)
     p.set_defaults(fn=cmd_conform)
 
     add_check_parser(sub)
@@ -480,7 +800,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
+    raw = list(argv) if argv is not None else sys.argv[1:]
+    args = build_parser().parse_args(raw)
+    args._argv = raw  # recorded in repro-run/1 telemetry for provenance
     return args.fn(args)
 
 

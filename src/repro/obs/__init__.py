@@ -1,10 +1,21 @@
-"""repro.obs — structured tracing and metrics for the decision pipeline.
+"""repro.obs — structured tracing, metrics, profiling and run history.
 
-Hierarchical spans with wall/CPU timings, monotonic counters, gauges, a
-per-process recorder, cross-process aggregation of worker snapshots, and
-a schema-validated JSON export (``repro-trace/1``).  See
-``docs/observability.md`` for the span model and the trace schema, and
-``python -m repro trace summary`` for the pretty-printer.
+Hierarchical spans with wall/CPU timings, monotonic counters, gauges
+(with explicit cross-process merge policies), a per-process recorder,
+cross-process aggregation of worker snapshots, and a schema-validated
+JSON export (``repro-trace/1``).  On top of the traces:
+
+* :mod:`repro.obs.profile` — collapsed-stack ("folded") and Chrome
+  trace-event exports for flamegraph.pl / speedscope / Perfetto, plus
+  opt-in tracemalloc peak-bytes span attributes;
+* :mod:`repro.obs.store` — the persistent ``repro-run/1`` telemetry
+  store every traced CLI invocation appends to;
+* :mod:`repro.obs.trend` — per-metric history rendering and the
+  noise-tolerant regression sentinel behind ``python -m repro obs diff``.
+
+See ``docs/observability.md`` for the span model, the trace/run schemas
+and the threshold model, and ``python -m repro trace summary`` for the
+pretty-printer.
 
 Typical use::
 
@@ -21,7 +32,16 @@ call site while disabled (same pattern as
 """
 
 from .export import SCHEMA, build_trace, validate_trace, write_trace
+from .profile import (
+    chrome_trace,
+    folded_stacks,
+    format_profile,
+    write_chrome_trace,
+    write_folded,
+)
 from .recorder import (
+    DEFAULT_GAUGE_POLICY,
+    GAUGE_POLICIES,
     Recorder,
     SpanRecord,
     WorkerCapture,
@@ -30,35 +50,86 @@ from .recorder import (
     counter_add,
     gauge_set,
     get_recorder,
+    memory_profiling_enabled,
     merge_cache_maps,
+    merge_gauge_maps,
     merge_worker_snapshot,
     reset_recorder,
+    set_memory_profiling,
     set_tracing,
     span,
     tracing,
     tracing_enabled,
 )
+from .store import (
+    SCHEMA as RUN_SCHEMA,
+)
+from .store import (
+    append_run,
+    bench_run_record,
+    build_run_record,
+    find_run,
+    latest_run,
+    load_record_file,
+    load_store,
+    resolve_store_path,
+    validate_run_record,
+)
 from .summary import format_trace_summary
+from .trend import (
+    Delta,
+    Thresholds,
+    diff_records,
+    format_diff,
+    format_trend,
+    regressions,
+)
 
 __all__ = [
+    "DEFAULT_GAUGE_POLICY",
+    "Delta",
+    "GAUGE_POLICIES",
+    "RUN_SCHEMA",
     "Recorder",
     "SCHEMA",
     "SpanRecord",
+    "Thresholds",
     "WorkerCapture",
     "annotate",
+    "append_run",
+    "bench_run_record",
+    "build_run_record",
     "build_trace",
     "capture_worker",
+    "chrome_trace",
     "counter_add",
+    "diff_records",
+    "find_run",
+    "folded_stacks",
+    "format_diff",
+    "format_profile",
     "format_trace_summary",
+    "format_trend",
     "gauge_set",
     "get_recorder",
+    "latest_run",
+    "load_record_file",
+    "load_store",
+    "memory_profiling_enabled",
     "merge_cache_maps",
+    "merge_gauge_maps",
     "merge_worker_snapshot",
+    "regressions",
     "reset_recorder",
+    "resolve_store_path",
+    "set_memory_profiling",
     "set_tracing",
     "span",
     "tracing",
     "tracing_enabled",
+    "validate_run_record",
     "validate_trace",
+    "write_chrome_trace",
+    "write_folded",
     "write_trace",
 ]

@@ -13,10 +13,15 @@ job catches format drift.  A trace payload carries:
 * ``workers`` — one snapshot per merged pool work item (same shape,
   plus a ``worker`` pid), preserving per-worker timing skew;
 * ``aggregate`` — counters and cache stats summed across the parent and
-  every worker snapshot.  This is the cross-process view the parallel
-  engines previously could not report; :func:`validate_trace` recomputes
-  the sums, so a report whose aggregate drifted from its parts fails
-  validation.
+  every worker snapshot, plus gauges merged under the explicit per-gauge
+  policies (``aggregate.gauge_policies``; default ``max``).  This is the
+  cross-process view the parallel engines previously could not report;
+  :func:`validate_trace` recomputes the sums and the policy merge, so a
+  report whose aggregate drifted from its parts fails validation.
+
+Span records additionally carry ``start_offset`` — seconds since their
+recorder was created, on the ``perf_counter`` clock — which lets
+:mod:`repro.obs.profile` lay spans on a Chrome-trace timeline.
 """
 
 from __future__ import annotations
@@ -25,7 +30,7 @@ import json
 import time
 from typing import Any, Dict, List, Optional
 
-from .recorder import Recorder, get_recorder, merge_cache_maps
+from .recorder import Recorder, get_recorder, merge_cache_maps, merge_gauge_maps
 
 #: Trace format identifier; bump the suffix on breaking changes.
 SCHEMA = "repro-trace/1"
@@ -52,6 +57,8 @@ def build_trace(
         "workers": [dict(snap) for snap in recorder.worker_snapshots],
         "aggregate": {
             "counters": recorder.aggregate_counters(),
+            "gauges": recorder.aggregate_gauges(),
+            "gauge_policies": dict(recorder.gauge_policies),
             "cache": recorder.aggregate_cache(),
         },
     }
@@ -80,7 +87,7 @@ def _validate_span(span: Any, where: str, errors: List[str]) -> None:
     name = span.get("name")
     if not (isinstance(name, str) and name):
         errors.append(f"{where}.name must be a non-empty string")
-    for field in ("start_unix", "wall_seconds", "cpu_seconds"):
+    for field in ("start_unix", "start_offset", "wall_seconds", "cpu_seconds"):
         value = span.get(field)
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             errors.append(f"{where}.{field} must be a number")
@@ -173,7 +180,7 @@ def validate_trace(payload: Any) -> List[str]:
             _validate_span(span, f"spans[{i}]", errors)
 
     counters_ok = _validate_numeric_map(payload.get("counters"), "counters", errors)
-    _validate_numeric_map(payload.get("gauges"), "gauges", errors)
+    gauges_ok = _validate_numeric_map(payload.get("gauges"), "gauges", errors)
     cache_ok = _validate_cache_map(payload.get("cache"), "cache", errors)
 
     workers = payload.get("workers")
@@ -197,6 +204,7 @@ def validate_trace(payload: Any) -> List[str]:
                 _validate_span(span, f"{where}.spans[{j}]", errors)
         workers_ok = (
             _validate_numeric_map(snap.get("counters"), f"{where}.counters", errors)
+            and _validate_numeric_map(snap.get("gauges", {}), f"{where}.gauges", errors)
             and _validate_cache_map(snap.get("cache"), f"{where}.cache", errors)
             and workers_ok
         )
@@ -208,6 +216,16 @@ def validate_trace(payload: Any) -> List[str]:
     agg_counters_ok = _validate_numeric_map(
         aggregate.get("counters"), "aggregate.counters", errors
     )
+    agg_gauges_ok = _validate_numeric_map(
+        aggregate.get("gauges"), "aggregate.gauges", errors
+    )
+    gauge_policies = aggregate.get("gauge_policies", {})
+    if not isinstance(gauge_policies, dict) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in gauge_policies.items()
+    ):
+        errors.append("aggregate.gauge_policies must map gauge names to policy names")
+        agg_gauges_ok = False
+        gauge_policies = {}
     agg_cache_ok = _validate_cache_map(aggregate.get("cache"), "aggregate.cache", errors)
 
     # the aggregate must actually be the sum of its parts
@@ -221,6 +239,24 @@ def validate_trace(payload: Any) -> List[str]:
             abs(expected[k] - got[k]) > 1e-6 for k in expected
         ):
             errors.append("aggregate.counters must equal parent + worker sums")
+    if gauges_ok and workers_ok and agg_gauges_ok:
+        try:
+            expected_gauges = merge_gauge_maps(
+                [dict(payload.get("gauges", {}))]
+                + [dict(snap.get("gauges", {})) for snap in workers],
+                dict(gauge_policies),
+            )
+        except ValueError as exc:
+            errors.append(f"aggregate.gauge_policies: {exc}")
+        else:
+            got_gauges = aggregate["gauges"]
+            if set(expected_gauges) != set(got_gauges) or any(
+                abs(expected_gauges[k] - got_gauges[k]) > 1e-9 for k in expected_gauges
+            ):
+                errors.append(
+                    "aggregate.gauges must equal the policy-merged parent + "
+                    "worker gauges"
+                )
     if cache_ok and workers_ok and agg_cache_ok:
         expected_cache = merge_cache_maps(
             payload["cache"], *(snap.get("cache", {}) for snap in workers)

@@ -1,0 +1,172 @@
+"""Profiling exports from ``repro-trace/1`` span trees.
+
+The span tree already *is* a profile — every record carries wall/CPU
+seconds and its position in the call hierarchy — so standard profiling
+UIs can render it without re-running anything:
+
+* :func:`folded_stacks` emits the collapsed-stack ("folded") text format
+  consumed by Brendan Gregg's ``flamegraph.pl`` and by speedscope: one
+  ``frame;frame;frame count`` line per unique stack, where ``count`` is
+  the stack's *self* time in integer microseconds (a span's time minus
+  its children's — the flame graph's widths then sum correctly at every
+  level);
+* :func:`chrome_trace` emits Chrome trace-event JSON (``chrome://tracing``,
+  Perfetto, speedscope): one complete ``"X"`` event per span, laid on a
+  timeline by the ``start_offset`` field :class:`~repro.obs.SpanRecord`
+  records at span entry.  Parent spans render as pid 0; each worker
+  snapshot renders under its real worker pid, so pool skew is visible as
+  staggered tracks.
+
+Worker-snapshot spans are included in both exports, rooted under a
+``worker[<pid>]`` frame in the folded output.  Worker ``start_offset``
+values are measured from each worker recorder's own creation, so
+cross-process alignment in the Chrome view is approximate (tracks start
+at their own zero) — within one process the timeline is exact.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+#: span timing field used for folded-stack counts, per ``--metric``
+METRICS = {"wall": "wall_seconds", "cpu": "cpu_seconds"}
+
+
+def _self_micros(span: Dict[str, Any], field: str) -> int:
+    own = span[field] - sum(child[field] for child in span["children"])
+    return max(int(round(own * 1e6)), 0)
+
+
+def _fold(
+    span: Dict[str, Any],
+    prefix: str,
+    field: str,
+    totals: Dict[str, int],
+) -> None:
+    # frame separators would corrupt the stack encoding: ";" splits
+    # frames and " " splits the count, so both are replaced per format
+    frame = span["name"].replace(";", ":").replace(" ", "_")
+    stack = f"{prefix};{frame}" if prefix else frame
+    count = _self_micros(span, field)
+    if count:
+        totals[stack] = totals.get(stack, 0) + count
+    for child in span["children"]:
+        _fold(child, stack, field, totals)
+
+
+def folded_stacks(payload: Dict[str, Any], metric: str = "wall") -> List[str]:
+    """Collapsed-stack lines (``a;b;c 1234``) for flamegraph.pl/speedscope.
+
+    ``metric`` selects wall-clock (default) or CPU seconds; counts are
+    self-time microseconds, so zero-self-time interior spans contribute
+    no line of their own but still appear as frames of their children.
+    Lines are sorted (the folded format is order-insensitive; sorting
+    makes the output diff-stable).
+    """
+    if metric not in METRICS:
+        raise ValueError(f"metric must be one of {sorted(METRICS)}, got {metric!r}")
+    field = METRICS[metric]
+    totals: Dict[str, int] = {}
+    for span in payload.get("spans", []):
+        _fold(span, "", field, totals)
+    for snap in payload.get("workers", []):
+        root = f"worker[{snap.get('worker', '?')}]"
+        for span in snap.get("spans", []):
+            _fold(span, root, field, totals)
+    return [f"{stack} {count}" for stack, count in sorted(totals.items())]
+
+
+def write_folded(path: str, payload: Dict[str, Any], metric: str = "wall") -> int:
+    """Write folded stacks to ``path``; returns the number of lines."""
+    lines = folded_stacks(payload, metric=metric)
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in lines:
+            fh.write(line + "\n")
+    return len(lines)
+
+
+def _events(
+    span: Dict[str, Any],
+    pid: int,
+    events: List[Dict[str, Any]],
+) -> None:
+    events.append(
+        {
+            "name": span["name"],
+            "cat": "span",
+            "ph": "X",
+            "ts": span["start_offset"] * 1e6,
+            "dur": span["wall_seconds"] * 1e6,
+            "pid": pid,
+            "tid": pid,
+            "args": dict(span["attrs"]),
+        }
+    )
+    for child in span["children"]:
+        _events(child, pid, events)
+
+
+def chrome_trace(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """A Chrome trace-event payload (``{"traceEvents": [...]}``).
+
+    Durations and timestamps are microseconds, as the format requires;
+    counters ride along in ``otherData`` so a loaded trace keeps the
+    aggregate numbers next to the timeline.
+    """
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": f"parent ({payload.get('meta', {}).get('command', 'trace')})"},
+        }
+    ]
+    for span in payload.get("spans", []):
+        _events(span, 0, events)
+    for snap in payload.get("workers", []):
+        pid = int(snap.get("worker", 0)) or 0
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": pid,
+                "args": {"name": f"worker {pid}"},
+            }
+        )
+        for span in snap.get("spans", []):
+            _events(span, pid, events)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": payload.get("schema"),
+            "counters": dict(payload.get("aggregate", {}).get("counters", {})),
+        },
+    }
+
+
+def write_chrome_trace(path: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Write the Chrome trace-event JSON to ``path``; returns the payload."""
+    trace = chrome_trace(payload)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return trace
+
+
+def format_profile(payload: Dict[str, Any], metric: str = "wall") -> str:
+    """The folded stacks as one text blob (stdout-friendly)."""
+    return "\n".join(folded_stacks(payload, metric=metric))
+
+
+__all__ = [
+    "METRICS",
+    "chrome_trace",
+    "folded_stacks",
+    "format_profile",
+    "write_chrome_trace",
+    "write_folded",
+]

@@ -11,7 +11,10 @@ This module records that structure:
   each with wall-clock and CPU seconds plus free-form attributes;
 * **counters** — monotonically accumulated numbers (search nodes,
   backtracks, split steps, conformance runs per phase);
-* **gauges** — last-write-wins numbers (population sizes, worker counts);
+* **gauges** — last-write-wins numbers within one process (population
+  sizes, worker counts), combined *across* processes by an explicit
+  per-gauge merge policy (default ``"max"``; see
+  :func:`merge_gauge_maps`);
 * **worker snapshots** — serialized recorder state returned by
   :mod:`multiprocessing` pool workers (see :func:`capture_worker`) and
   folded into the parent with :func:`merge_worker_snapshot`, so parallel
@@ -40,6 +43,7 @@ from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 _enabled: bool = False
+_profile_memory: bool = False
 
 
 class SpanRecord:
@@ -49,6 +53,7 @@ class SpanRecord:
         "name",
         "attrs",
         "start_unix",
+        "start_offset",
         "wall_seconds",
         "cpu_seconds",
         "children",
@@ -58,6 +63,10 @@ class SpanRecord:
         self.name = name
         self.attrs = attrs
         self.start_unix = 0.0
+        # seconds since the owning recorder was created (perf_counter
+        # clock): lays sibling spans on one timeline for Chrome-trace
+        # export without the jitter of repeated time.time() reads
+        self.start_offset = 0.0
         self.wall_seconds = 0.0
         self.cpu_seconds = 0.0
         self.children: List["SpanRecord"] = []
@@ -66,6 +75,7 @@ class SpanRecord:
         return {
             "name": self.name,
             "start_unix": self.start_unix,
+            "start_offset": self.start_offset,
             "wall_seconds": self.wall_seconds,
             "cpu_seconds": self.cpu_seconds,
             "attrs": dict(self.attrs),
@@ -88,22 +98,27 @@ class SpanRecord:
 class _ActiveSpan:
     """Context manager pushing/popping one :class:`SpanRecord`."""
 
-    __slots__ = ("_recorder", "record", "_t0", "_c0")
+    __slots__ = ("_recorder", "record", "_t0", "_c0", "_mem")
 
     def __init__(self, recorder: "Recorder", record: SpanRecord) -> None:
         self._recorder = recorder
         self.record = record
         self._t0 = 0.0
         self._c0 = 0.0
+        self._mem = False
 
     def __enter__(self) -> SpanRecord:
         rec = self._recorder
         stack = rec._stack
         (stack[-1].children if stack else rec.roots).append(self.record)
         stack.append(self.record)
+        if _profile_memory:
+            self._mem = True
+            self._mem_enter(rec)
         self.record.start_unix = time.time()
         self._c0 = time.process_time()
         self._t0 = time.perf_counter()
+        self.record.start_offset = self._t0 - rec._origin_perf
         return self.record
 
     def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
@@ -111,10 +126,38 @@ class _ActiveSpan:
         self.record.cpu_seconds = time.process_time() - self._c0
         if exc is not None:
             self.record.attrs.setdefault("error", f"{type(exc).__name__}: {exc}")
-        stack = self._recorder._stack
+        rec = self._recorder
+        if self._mem and rec._mem_stack:
+            self._mem_exit(rec)
+        stack = rec._stack
         if stack and stack[-1] is self.record:
             stack.pop()
         return False
+
+    def _mem_enter(self, rec: "Recorder") -> None:
+        import tracemalloc
+
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+        tracemalloc.reset_peak()
+        rec._mem_stack.append(0)
+
+    def _mem_exit(self, rec: "Recorder") -> None:
+        """Per-span peak-bytes attribution (opt-in, see ``--profile-memory``).
+
+        ``tracemalloc`` keeps one global peak, so each span resets it on
+        entry and on exit takes ``max(global peak since entry, peaks its
+        children reported)`` — the child bubbles its own peak up through
+        ``_mem_stack`` so a parent's number always covers its subtree.
+        """
+        import tracemalloc
+
+        _, peak = tracemalloc.get_traced_memory()
+        own_peak = max(rec._mem_stack.pop(), peak)
+        self.record.attrs["mem_peak_bytes"] = int(own_peak)
+        if rec._mem_stack:
+            rec._mem_stack[-1] = max(rec._mem_stack[-1], own_peak)
+        tracemalloc.reset_peak()
 
 
 class _NullSpan:
@@ -172,18 +215,76 @@ def merge_cache_maps(*maps: Dict[str, Dict[str, Any]]) -> Dict[str, Dict[str, An
     }
 
 
+#: How one gauge's values combine across the parent and its pool workers.
+#: ``"last"`` reproduces the old implicit dict-update behaviour — which
+#: made parallel gauges depend on worker *completion order* — and is
+#: therefore never the default.
+GAUGE_POLICIES: Dict[str, Any] = {
+    "max": max,
+    "min": min,
+    "sum": lambda values: sum(values),
+    "last": lambda values: values[-1],
+}
+
+#: Policy applied to a gauge with no explicit entry: ``max`` is order-free
+#: and matches the dominant use (high-water marks like population sizes).
+DEFAULT_GAUGE_POLICY = "max"
+
+
+def merge_gauge_maps(
+    maps: List[Dict[str, float]],
+    policies: Optional[Dict[str, str]] = None,
+) -> Dict[str, float]:
+    """Combine gauge maps under an explicit per-gauge policy.
+
+    ``maps`` is ordered parent-first, then one map per worker snapshot in
+    merge order.  Every policy except ``"last"`` is insensitive to that
+    order, so parallel aggregates cannot depend on worker completion
+    order (the bug this replaces: last-write-wins ``dict.update``).
+    Unknown policy names raise :class:`ValueError` up front.
+    """
+    policies = policies or {}
+    for name, policy in policies.items():
+        if policy not in GAUGE_POLICIES:
+            raise ValueError(
+                f"unknown gauge policy {policy!r} for gauge {name!r}; "
+                f"use one of {sorted(GAUGE_POLICIES)}"
+            )
+    values: Dict[str, List[float]] = {}
+    for m in maps:
+        for name, value in m.items():
+            values.setdefault(name, []).append(float(value))
+    return {
+        name: GAUGE_POLICIES[policies.get(name, DEFAULT_GAUGE_POLICY)](series)
+        for name, series in sorted(values.items())
+    }
+
+
 class Recorder:
     """Per-process trace state: span tree, counters, gauges, worker merges."""
 
-    __slots__ = ("roots", "counters", "gauges", "worker_snapshots", "_stack", "_cache_baseline")
+    __slots__ = (
+        "roots",
+        "counters",
+        "gauges",
+        "gauge_policies",
+        "worker_snapshots",
+        "_stack",
+        "_mem_stack",
+        "_cache_baseline",
+        "_origin_perf",
+    )
 
     def __init__(self) -> None:
         self.roots: List[SpanRecord] = []
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
+        self.gauge_policies: Dict[str, str] = {}
         self.worker_snapshots: List[Dict[str, Any]] = []
         self._stack: List[SpanRecord] = []
+        self._mem_stack: List[int] = []
         self._cache_baseline: Dict[str, Tuple[int, int]] = _cache_raw()
+        self._origin_perf: float = time.perf_counter()
 
     # -- recording ---------------------------------------------------------
 
@@ -196,6 +297,19 @@ class Recorder:
 
     def set_gauge(self, name: str, value: float) -> None:
         self.gauges[name] = value
+
+    def set_gauge_policy(self, name: str, policy: str) -> None:
+        """Choose how ``name`` merges across worker snapshots.
+
+        ``policy`` is one of :data:`GAUGE_POLICIES` (``max`` — the
+        default for unconfigured gauges — ``min``, ``sum``, ``last``).
+        """
+        if policy not in GAUGE_POLICIES:
+            raise ValueError(
+                f"unknown gauge policy {policy!r}; use one of "
+                f"{sorted(GAUGE_POLICIES)}"
+            )
+        self.gauge_policies[name] = policy
 
     # -- inspection --------------------------------------------------------
 
@@ -227,12 +341,42 @@ class Recorder:
             "spans": [root.as_dict() for root in self.roots],
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
+            "gauge_policies": dict(self.gauge_policies),
             "cache": self.own_cache(),
         }
 
-    def merge_worker(self, snapshot: Dict[str, Any]) -> None:
-        """Fold one worker snapshot into this (parent) recorder."""
+    def merge_worker(
+        self,
+        snapshot: Dict[str, Any],
+        gauge_policies: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Fold one worker snapshot into this (parent) recorder.
+
+        Counters and cache stats are summed at aggregation time — those
+        merges are unambiguous.  Gauges are not: before this parameter,
+        parallel gauge values depended on worker completion order
+        (last-write-wins by dict update).  Every gauge now merges under
+        an explicit policy — ``"max"`` unless overridden here or via
+        :meth:`set_gauge_policy` — so ``workers=1`` and ``workers=N``
+        produce identical :meth:`aggregate_gauges`.
+        """
+        if gauge_policies:
+            for name, policy in gauge_policies.items():
+                self.set_gauge_policy(name, policy)
+        # the worker's own policy choices ride back in its snapshot; an
+        # explicit parent-side policy (above, or set_gauge_policy) wins
+        for name, policy in snapshot.get("gauge_policies", {}).items():
+            if name not in self.gauge_policies:
+                self.set_gauge_policy(name, policy)
         self.worker_snapshots.append(snapshot)
+
+    def aggregate_gauges(self) -> Dict[str, float]:
+        """Parent + worker gauges merged under the per-gauge policies."""
+        return merge_gauge_maps(
+            [self.gauges]
+            + [dict(snap.get("gauges", {})) for snap in self.worker_snapshots],
+            self.gauge_policies,
+        )
 
     def aggregate_counters(self) -> Dict[str, float]:
         """Parent counters plus the sum of every merged worker's counters."""
@@ -284,6 +428,31 @@ def set_tracing(enabled: bool) -> bool:
     global _enabled
     previous = _enabled
     _enabled = bool(enabled)
+    return previous
+
+
+def memory_profiling_enabled() -> bool:
+    """Whether spans attach ``mem_peak_bytes`` (tracemalloc) attributes."""
+    return _profile_memory
+
+
+def set_memory_profiling(enabled: bool) -> bool:
+    """Opt spans in/out of tracemalloc peak-bytes attrs; returns previous.
+
+    Off by default and independent of :func:`set_tracing` — tracemalloc
+    slows allocation-heavy code by an order of magnitude, so memory
+    profiling must never ride along silently with ``--trace``.  Enabling
+    starts tracemalloc lazily on the first profiled span; switching from
+    on to off stops tracemalloc.
+    """
+    global _profile_memory
+    previous = _profile_memory
+    _profile_memory = bool(enabled)
+    if not _profile_memory and previous:
+        import tracemalloc
+
+        if tracemalloc.is_tracing():
+            tracemalloc.stop()
     return previous
 
 

@@ -24,6 +24,17 @@ from repro.topology.complexes import SimplicialComplex
 from repro.topology.simplex import Simplex, Vertex, chrom
 
 
+@pytest.fixture(autouse=True)
+def _isolated_telemetry(tmp_path, monkeypatch):
+    """Point $REPRO_TELEMETRY at a per-test path.
+
+    Traced CLI invocations append ``repro-run/1`` records to the resolved
+    store; without this every test that passes ``--trace`` would write
+    into the repo's ``.repro/telemetry.jsonl``.
+    """
+    monkeypatch.setenv("REPRO_TELEMETRY", str(tmp_path / "telemetry.jsonl"))
+
+
 @pytest.fixture
 def triangle() -> Simplex:
     """A chromatic 2-simplex with three distinct colors."""

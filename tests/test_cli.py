@@ -74,6 +74,17 @@ class TestAnalyze:
     def test_unknown_verdict_exits_2(self, capsys):
         assert main(["analyze", "approx-agreement", "--max-rounds", "0"]) == 2
 
+    def test_trace_export_is_schema_valid(self, tmp_path, capsys):
+        from repro.obs import validate_trace
+
+        out = tmp_path / "trace.json"
+        assert main(["analyze", "hourglass", "--trace", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert validate_trace(payload) == []
+        assert payload["meta"]["command"] == "analyze hourglass"
+        names = {s["name"] for s in payload["spans"]}
+        assert "decide" in names
+
 
 class TestDecide:
     def test_unsolvable_task(self, capsys):
@@ -142,6 +153,65 @@ class TestTrace:
         assert main(["trace", "summary", str(tmp_path / "absent.json")]) == 1
         assert "cannot read" in capsys.readouterr().err
 
+    def test_summary_top_sort_and_min_ms_filters(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path)
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "trace",
+                    "summary",
+                    str(path),
+                    "--top",
+                    "3",
+                    "--sort",
+                    "count",
+                    "--min-ms",
+                    "0.001",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "top spans by name (sorted by count)" in out
+        assert "calls" in out
+
+    def test_flame_emits_folded_stacks(self, tmp_path, capsys):
+        import re
+
+        path = self._write_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "flame", str(path)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        folded = re.compile(r"^[^ ;]+(;[^ ;]+)* \d+$")
+        for line in lines:
+            assert folded.match(line), line
+        assert any(line.startswith("decide;") for line in lines)
+
+    def test_flame_writes_out_file(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path)
+        out = tmp_path / "folded.txt"
+        assert (
+            main(
+                ["trace", "flame", str(path), "--metric", "cpu", "--out", str(out)]
+            )
+            == 0
+        )
+        assert out.read_text().strip()
+
+    def test_export_chrome_trace(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path)
+        out = tmp_path / "chrome.json"
+        assert main(["trace", "export", str(path), "--chrome", "--out", str(out)]) == 0
+        trace = json.loads(out.read_text())
+        assert any(e["ph"] == "X" for e in trace["traceEvents"])
+
+    def test_export_requires_a_format_flag(self, tmp_path):
+        path = self._write_trace(tmp_path)
+        with pytest.raises(SystemExit, match="--chrome"):
+            main(["trace", "export", str(path)])
+
 
 class TestSynthesize:
     def test_identity(self, capsys):
@@ -158,6 +228,28 @@ class TestSynthesize:
 
     def test_unsolvable_fails(self, capsys):
         assert main(["synthesize", "consensus", "--runs", "1"]) == 1
+
+    def test_trace_export_is_schema_valid(self, tmp_path, capsys):
+        from repro.obs import validate_trace
+
+        out = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "synthesize",
+                    "identity",
+                    "--runs",
+                    "2",
+                    "--facets-only",
+                    "--trace",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(out.read_text())
+        assert validate_trace(payload) == []
+        assert payload["meta"]["command"] == "synthesize identity"
 
 
 class TestCensus:
@@ -207,6 +299,158 @@ class TestCensus:
         assert validate_trace(payload) == []
         assert len(payload["workers"]) == 2  # one snapshot per chunk
         assert payload["aggregate"]["counters"]["census.tasks"] == 4.0
+
+
+class TestObs:
+    def _store_with_runs(self, tmp_path, count=2):
+        """Record ``count`` decide runs into a store; returns its path."""
+        store = tmp_path / "telemetry.jsonl"
+        for _ in range(count):
+            main(["decide", "hourglass", "--store", str(store)])
+        return store
+
+    def test_traced_run_appends_a_valid_record(self, tmp_path, capsys):
+        from repro.obs import load_store
+
+        store = self._store_with_runs(tmp_path, count=2)
+        out = capsys.readouterr().out
+        assert "recorded run" in out
+        records, problems = load_store(str(store))
+        assert problems == []
+        assert len(records) == 2
+        assert all(r["command"] == "decide" for r in records)
+        assert all(r["task"] == "hourglass" for r in records)
+        assert records[0]["argv"][0] == "decide"
+
+    def test_trace_flag_also_records_via_env_store(self, tmp_path, capsys, monkeypatch):
+        from repro.obs import load_store
+
+        store = tmp_path / "env-store.jsonl"
+        monkeypatch.setenv("REPRO_TELEMETRY", str(store))
+        main(["decide", "hourglass", "--trace", str(tmp_path / "t.json")])
+        records, problems = load_store(str(store))
+        assert problems == [] and len(records) == 1
+
+    def test_validate_and_list(self, tmp_path, capsys):
+        store = self._store_with_runs(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "validate", "--store", str(store)]) == 0
+        assert "2 valid repro-run/1" in capsys.readouterr().out
+        assert main(["obs", "list", "--store", str(store)]) == 0
+        assert "decide" in capsys.readouterr().out
+
+    def test_validate_fails_on_empty_store(self, tmp_path, capsys):
+        missing = tmp_path / "none.jsonl"
+        assert main(["obs", "validate", "--store", str(missing)]) == 1
+        assert "no runs recorded" in capsys.readouterr().err
+
+    def test_validate_fails_on_corrupt_line(self, tmp_path, capsys):
+        store = self._store_with_runs(tmp_path, count=1)
+        with open(store, "a", encoding="utf-8") as fh:
+            fh.write("{broken\n")
+        assert main(["obs", "validate", "--store", str(store)]) == 1
+        assert "not JSON" in capsys.readouterr().err
+
+    def test_trend_renders_history(self, tmp_path, capsys):
+        store = self._store_with_runs(tmp_path)
+        capsys.readouterr()
+        code = main(
+            [
+                "obs",
+                "trend",
+                "--store",
+                str(store),
+                "--metric",
+                "wall",
+                "--command",
+                "decide",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 run(s):" in out
+        assert "wall_seconds" in out
+
+    def test_diff_self_vs_self_exits_zero(self, tmp_path, capsys):
+        store = self._store_with_runs(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "diff", "-2", "-2", "--store", str(store)]) == 0
+        assert "— clean" in capsys.readouterr().out
+
+    def test_diff_injected_regression_exits_nonzero(self, tmp_path, capsys):
+        # acceptance criterion: double one span's wall time in the newest
+        # record and the sentinel must gate
+        store = self._store_with_runs(tmp_path)
+        lines = store.read_text().splitlines()
+        doctored = json.loads(lines[-1])
+        for entry in doctored["spans"].values():
+            entry["wall_seconds"] *= 2.0
+        doctored["spans"]["decide"]["wall_seconds"] += 1.0  # clear the floor
+        lines[-1] = json.dumps(doctored, sort_keys=True)
+        store.write_text("\n".join(lines) + "\n")
+        capsys.readouterr()
+        code = main(
+            ["obs", "diff", "-2", "-1", "--store", str(store), "--min-seconds", "0"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+
+    def test_diff_baseline_file_vs_latest(self, tmp_path, capsys):
+        store = self._store_with_runs(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(store.read_text().splitlines()[0])
+        capsys.readouterr()
+        code = main(
+            ["obs", "diff", "--baseline", str(baseline), "--store", str(store)]
+        )
+        assert code == 0
+        assert "baseline:" in capsys.readouterr().out
+
+    def test_diff_baseline_matches_same_task_not_just_command(self, tmp_path, capsys):
+        # a later decide run of a *different* task must not become the
+        # comparison target — that would chart apples against oranges
+        store = tmp_path / "telemetry.jsonl"
+        main(["decide", "hourglass", "--store", str(store)])
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(store.read_text().splitlines()[0])
+        main(["decide", "identity", "--store", str(store)])
+        capsys.readouterr()
+        assert (
+            main(["obs", "diff", "--baseline", str(baseline), "--store", str(store)])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert out.count("hourglass") == 2  # both sides are the hourglass run
+
+    def test_diff_needs_two_refs_without_baseline(self, tmp_path):
+        store = self._store_with_runs(tmp_path, count=1)
+        with pytest.raises(SystemExit, match="two run references"):
+            main(["obs", "diff", "-1", "--store", str(store)])
+
+    def test_diff_unknown_ref_rejected(self, tmp_path):
+        store = self._store_with_runs(tmp_path, count=1)
+        with pytest.raises(SystemExit, match="no run with id prefix"):
+            main(["obs", "diff", "zzz", "yyy", "--store", str(store)])
+
+    def test_ingest_bench_report(self, tmp_path, capsys):
+        store = tmp_path / "telemetry.jsonl"
+        code = main(
+            ["obs", "ingest", "benchmarks/BENCH_perf_core.json", "--store", str(store)]
+        )
+        assert code == 0
+        assert "ingested" in capsys.readouterr().out
+        assert main(["obs", "validate", "--store", str(store)]) == 0
+
+    def test_ingest_garbage_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        store = tmp_path / "telemetry.jsonl"
+        assert main(["obs", "ingest", str(bad), "--store", str(store)]) == 1
+
+    def test_ingest_needs_files(self, tmp_path):
+        with pytest.raises(SystemExit, match="needs one or more"):
+            main(["obs", "ingest", "--store", str(tmp_path / "t.jsonl")])
 
 
 CONFORM_FAST = ["--random-runs", "1", "--exhaustive", "4", "--no-adversarial"]

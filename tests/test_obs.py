@@ -179,6 +179,113 @@ class TestCacheDelta:
         assert merged["other"]["hits"] == 2
 
 
+class TestGaugePolicies:
+    def test_merge_gauge_maps_default_is_max(self):
+        merged = obs.merge_gauge_maps([{"g": 2.0}, {"g": 5.0}, {"g": 3.0}])
+        assert merged == {"g": 5.0}
+
+    def test_each_policy_merges_as_named(self):
+        maps = [{"g": 2.0}, {"g": 5.0}, {"g": 3.0}]
+        for policy, expected in (
+            ("max", 5.0),
+            ("min", 2.0),
+            ("sum", 10.0),
+            ("last", 3.0),
+        ):
+            assert obs.merge_gauge_maps(maps, {"g": policy}) == {"g": expected}
+
+    def test_unknown_policy_rejected_up_front(self):
+        with pytest.raises(ValueError, match="unknown gauge policy"):
+            obs.merge_gauge_maps([{"g": 1.0}], {"g": "median"})
+        with pytest.raises(ValueError, match="unknown gauge policy"):
+            get_recorder().set_gauge_policy("g", "median")
+
+    def test_worker_gauges_merge_under_policy(self):
+        set_tracing(True)
+        gauge_set("population", 10.0)
+        get_recorder().set_gauge_policy("population", "sum")
+        for value in (7.0, 5.0):
+            with capture_worker() as capture:
+                gauge_set("population", value)
+            merge_worker_snapshot(capture.snapshot)
+        assert get_recorder().aggregate_gauges() == {"population": 22.0}
+
+    def test_default_max_is_completion_order_free(self):
+        set_tracing(True)
+        snapshots = []
+        for value in (3.0, 9.0, 1.0):
+            with capture_worker() as capture:
+                gauge_set("depth", value)
+            snapshots.append(capture.snapshot)
+        for snap in reversed(snapshots):  # merge in "wrong" order
+            merge_worker_snapshot(snap)
+        assert get_recorder().aggregate_gauges() == {"depth": 9.0}
+
+    def test_worker_policy_rides_in_snapshot_but_parent_wins(self):
+        set_tracing(True)
+        with capture_worker() as capture:
+            get_recorder().set_gauge_policy("g", "sum")
+            gauge_set("g", 4.0)
+        gauge_set("g", 1.0)
+        merge_worker_snapshot(capture.snapshot)
+        # no parent-side setting: the worker's "sum" choice is adopted
+        assert get_recorder().aggregate_gauges() == {"g": 5.0}
+
+        reset_recorder()
+        set_tracing(True)
+        get_recorder().set_gauge_policy("g", "min")
+        gauge_set("g", 1.0)
+        with capture_worker() as capture:
+            get_recorder().set_gauge_policy("g", "sum")
+            gauge_set("g", 4.0)
+        merge_worker_snapshot(capture.snapshot)
+        # explicit parent-side policy beats the snapshot's
+        assert get_recorder().aggregate_gauges() == {"g": 1.0}
+
+    def test_aggregate_gauges_lands_in_trace_aggregate(self):
+        set_tracing(True)
+        gauge_set("depth", 2.0)
+        with capture_worker() as capture:
+            gauge_set("depth", 6.0)
+        merge_worker_snapshot(capture.snapshot)
+        payload = build_trace()
+        assert payload["aggregate"]["gauges"] == {"depth": 6.0}
+        assert validate_trace(payload) == []
+
+    def test_validator_rejects_drifted_gauge_aggregate(self):
+        set_tracing(True)
+        gauge_set("depth", 2.0)
+        payload = json.loads(json.dumps(build_trace()))
+        payload["aggregate"]["gauges"]["depth"] = 99.0
+        assert any(
+            "aggregate.gauges" in p for p in validate_trace(payload)
+        )
+
+
+class TestStartOffset:
+    def test_offsets_are_monotonic_within_the_tree(self):
+        set_tracing(True)
+        with span("outer"):
+            with span("first"):
+                pass
+            with span("second"):
+                pass
+        outer = get_recorder().roots[0]
+        first, second = outer.children
+        assert outer.start_offset >= 0.0
+        assert first.start_offset >= outer.start_offset
+        assert second.start_offset >= first.start_offset
+
+    def test_offset_is_exported_and_required(self):
+        set_tracing(True)
+        with span("s"):
+            pass
+        payload = json.loads(json.dumps(build_trace()))
+        assert "start_offset" in payload["spans"][0]
+        del payload["spans"][0]["start_offset"]
+        assert validate_trace(payload) != []
+
+
 class TestWorkerAggregation:
     def test_capture_worker_snapshots_and_restores(self):
         with tracing():
@@ -292,3 +399,34 @@ class TestSummary:
         shallow = format_trace_summary(payload, max_depth=0)
         assert "decide" in shallow
         assert "transform" not in shallow
+
+    def test_top_replaces_tree_with_busiest_names(self):
+        payload = _recorded_trace()
+        text = format_trace_summary(payload, top=2)
+        assert "top spans by name" in text
+        assert "calls" in text
+        # worker spans count toward the table
+        assert "work" in text
+        assert "more span names" in text  # decide/transform/work = 3 names
+
+    def test_top_sort_orders(self):
+        payload = _recorded_trace()
+        for sort in ("wall", "cpu", "count"):
+            text = format_trace_summary(payload, top=10, sort=sort)
+            assert f"sorted by {sort}" in text
+        with pytest.raises(ValueError, match="sort"):
+            format_trace_summary(payload, top=3, sort="depth")
+
+    def test_min_ms_hides_fast_subtrees(self):
+        payload = _recorded_trace()
+        # every recorded span is far under 10s: the whole tree hides
+        text = format_trace_summary(payload, min_ms=10_000.0)
+        assert "hidden" in text
+        assert "transform" not in text
+
+    def test_min_ms_filters_top_table_rows(self):
+        payload = _recorded_trace()
+        text = format_trace_summary(payload, top=10, min_ms=10_000.0)
+        # every span is far under 10s, so no table row survives
+        assert "decide" not in text
+        assert "transform" not in text

@@ -102,7 +102,7 @@ class TestTracedDecide:
 
 
 def _census_aggregates(workers):
-    """Run the same traced workload and return (census, counters, cache)."""
+    """Run the same traced workload; returns (census, counters, cache, gauges)."""
     obs.reset_recorder()
     cache_clear()
     with obs.tracing():
@@ -112,6 +112,7 @@ def _census_aggregates(workers):
         census.as_tuple(),
         recorder.aggregate_counters(),
         recorder.aggregate_cache(),
+        recorder.aggregate_gauges(),
     )
 
 
@@ -120,8 +121,10 @@ class TestParallelAggregation:
         # regression: before the worker-snapshot merge, the parallel run's
         # recorder was empty — every counter and cache hit accumulated in
         # the pool workers was lost with the worker process.
-        serial_census, serial_counters, serial_cache = _census_aggregates(1)
-        parallel_census_t, parallel_counters, parallel_cache = _census_aggregates(2)
+        serial_census, serial_counters, serial_cache, _ = _census_aggregates(1)
+        parallel_census_t, parallel_counters, parallel_cache, _ = _census_aggregates(
+            2
+        )
         assert parallel_census_t == serial_census
         assert parallel_counters == serial_counters
         assert parallel_counters["census.tasks"] == 6.0
@@ -132,6 +135,15 @@ class TestParallelAggregation:
             assert (
                 parallel_cache[query]["misses"] == serial_cache[query]["misses"]
             )
+
+    def test_workers_gauge_aggregates_match_serial(self):
+        # the census's max-splits gauge is seed-determined, so under the
+        # default "max" merge policy the aggregate must not depend on how
+        # the pool partitions the seeds — workers=1 and workers=N agree
+        *_, serial_gauges = _census_aggregates(1)
+        *_, parallel_gauges = _census_aggregates(2)
+        assert "census.max_splits" in serial_gauges
+        assert parallel_gauges == serial_gauges
 
     def test_parallel_trace_carries_worker_snapshots(self):
         obs.reset_recorder()

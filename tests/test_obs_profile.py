@@ -1,0 +1,171 @@
+"""Unit tests for the profiling exports (``repro.obs.profile``).
+
+Pins the folded-stack grammar (``frame;frame count`` — the acceptance
+criterion for ``trace flame``), the Chrome trace-event structure, and
+the opt-in tracemalloc peak-bytes span attributes.
+"""
+
+import json
+import re
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    chrome_trace,
+    folded_stacks,
+    format_profile,
+    write_chrome_trace,
+    write_folded,
+)
+
+FOLDED_LINE = re.compile(r"^[^ ;]+(;[^ ;]+)* \d+$")
+
+
+@pytest.fixture(autouse=True)
+def _clean_recorder():
+    obs.set_tracing(False)
+    obs.set_memory_profiling(False)
+    obs.reset_recorder()
+    yield
+    obs.set_tracing(False)
+    obs.set_memory_profiling(False)
+    obs.reset_recorder()
+
+
+def _payload():
+    """A trace with a nested parent tree and one worker snapshot."""
+    with obs.tracing():
+        with obs.span("decide"):
+            with obs.span("transform"):
+                sum(range(20000))
+            with obs.span("search"):
+                sum(range(20000))
+    with obs.capture_worker() as capture:
+        with obs.span("work"):
+            sum(range(20000))
+    obs.merge_worker_snapshot(capture.snapshot)
+    return obs.build_trace(meta={"command": "unit-test"})
+
+
+class TestFoldedStacks:
+    def test_lines_match_the_folded_grammar(self):
+        lines = folded_stacks(_payload())
+        assert lines
+        for line in lines:
+            assert FOLDED_LINE.match(line), line
+
+    def test_stacks_are_semicolon_joined_ancestries(self):
+        stacks = {line.rsplit(" ", 1)[0] for line in folded_stacks(_payload())}
+        assert "decide;transform" in stacks
+        assert "decide;search" in stacks
+
+    def test_worker_spans_root_under_worker_frame(self):
+        lines = folded_stacks(_payload())
+        assert any(line.startswith("worker[") for line in lines)
+
+    def test_counts_are_self_time_so_widths_sum(self):
+        # the parent's own line (if any) excludes its children's time:
+        # every count is >= 0 and the decide frame appears as a prefix
+        payload = _payload()
+        for line in folded_stacks(payload):
+            assert int(line.rsplit(" ", 1)[1]) >= 0
+
+    def test_frame_separators_are_sanitized(self):
+        with obs.tracing():
+            with obs.span("odd;name with space"):
+                pass
+        lines = folded_stacks(obs.build_trace())
+        assert lines == [] or all(FOLDED_LINE.match(line) for line in lines)
+
+    def test_metric_selects_the_clock(self):
+        payload = _payload()
+        wall = folded_stacks(payload, metric="wall")
+        cpu = folded_stacks(payload, metric="cpu")
+        assert {line.rsplit(" ", 1)[0] for line in cpu} <= {
+            line.rsplit(" ", 1)[0] for line in wall
+        } | {line.rsplit(" ", 1)[0] for line in cpu}
+        with pytest.raises(ValueError, match="metric"):
+            folded_stacks(payload, metric="gpu")
+
+    def test_write_folded_and_format_profile_agree(self, tmp_path):
+        payload = _payload()
+        path = tmp_path / "folded.txt"
+        count = write_folded(str(path), payload)
+        text = path.read_text()
+        assert count == len(text.splitlines())
+        assert text.strip() == format_profile(payload)
+
+
+class TestChromeTrace:
+    def test_events_structure(self):
+        trace = chrome_trace(_payload())
+        events = trace["traceEvents"]
+        spans = [e for e in events if e["ph"] == "X"]
+        metas = [e for e in events if e["ph"] == "M"]
+        assert spans and metas
+        for event in spans:
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert isinstance(event["pid"], int)
+        names = {e["name"] for e in spans}
+        assert {"decide", "transform", "search", "work"} <= names
+
+    def test_workers_get_their_own_pid_track(self):
+        trace = chrome_trace(_payload())
+        pids = {e["pid"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert 0 in pids and len(pids) == 2
+
+    def test_timeline_nesting_is_consistent(self):
+        # children start at or after the parent and end within it
+        trace = chrome_trace(_payload())
+        spans = {
+            e["name"]: e for e in trace["traceEvents"] if e["ph"] == "X"
+        }
+        parent, child = spans["decide"], spans["transform"]
+        assert child["ts"] >= parent["ts"]
+        assert child["ts"] + child["dur"] <= parent["ts"] + parent["dur"] + 1.0
+
+    def test_write_chrome_trace_roundtrips(self, tmp_path):
+        path = tmp_path / "chrome.json"
+        trace = write_chrome_trace(str(path), _payload())
+        on_disk = json.loads(path.read_text())
+        assert on_disk == json.loads(json.dumps(trace))
+        assert on_disk["otherData"]["schema"] == obs.SCHEMA
+
+
+class TestMemoryProfiling:
+    def test_off_by_default_no_attrs(self):
+        payload = _payload()
+        root = payload["spans"][0]
+        assert "mem_peak_bytes" not in root["attrs"]
+
+    def test_opt_in_attaches_peak_bytes(self):
+        obs.set_memory_profiling(True)
+        assert obs.memory_profiling_enabled()
+        with obs.tracing():
+            with obs.span("alloc"):
+                blob = [0] * 50000
+                del blob
+        payload = obs.build_trace()
+        peak = payload["spans"][0]["attrs"]["mem_peak_bytes"]
+        assert isinstance(peak, int)
+        assert peak > 50000 * 4  # a list of 50k ints is at least this big
+
+    def test_parent_peak_covers_children(self):
+        obs.set_memory_profiling(True)
+        with obs.tracing():
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    blob = [0] * 50000
+                    del blob
+        payload = obs.build_trace()
+        outer = payload["spans"][0]
+        inner = outer["children"][0]
+        assert outer["attrs"]["mem_peak_bytes"] >= inner["attrs"]["mem_peak_bytes"]
+
+    def test_traces_with_memory_attrs_stay_schema_valid(self):
+        obs.set_memory_profiling(True)
+        with obs.tracing():
+            with obs.span("alloc"):
+                pass
+        assert obs.validate_trace(obs.build_trace()) == []
