@@ -413,10 +413,11 @@ def cmd_synthesize(args) -> int:
 def cmd_census(args) -> int:
     if args.seeds < 0:
         raise SystemExit(f"--seeds must be non-negative, got {args.seeds}")
-    if args.chunksize < 1:
+    if args.chunksize is not None and args.chunksize < 1:
         raise SystemExit(
             f"--chunksize must be at least 1 (got {args.chunksize}); it is the "
-            "number of seeds dispatched per work item"
+            "number of seeds dispatched per work item (omit the flag to derive "
+            "it from the population and worker count)"
         )
     if args.workers is not None and args.workers < 1:
         raise SystemExit(
@@ -733,7 +734,11 @@ def build_parser() -> argparse.ArgumentParser:
         "(omit for one process per CPU; default serial)",
     )
     p.add_argument(
-        "--chunksize", type=int, default=8, help="seeds per work item (at least 1)"
+        "--chunksize",
+        type=int,
+        default=None,
+        help="seeds per work item, at least 1 (default: adaptive — derived "
+        "from the population size and worker count)",
     )
     _add_observability_args(p)
     p.set_defaults(fn=cmd_census)

@@ -15,9 +15,10 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..obs import annotate, counter_add, gauge_set, span
-from ..solvability.decision import Status, decide_solvability
+from ..solvability.decision import SolvabilityVerdict, Status, decide_solvability
 from ..tasks.task import Task
 from ..tasks.zoo.random_tasks import random_single_input_task, random_sparse_task
+from ..topology import diskstore
 
 
 @dataclass
@@ -97,6 +98,28 @@ class Census:
         ]
 
 
+def _decide_with_store(task: Task, max_rounds: int) -> SolvabilityVerdict:
+    """Decide one census task, through the persistent verdict cache.
+
+    A census verdict is a pure function of the (content-hashed) task and
+    the deepening budget, so repeated populations — successive CLI runs,
+    benchmark repeats, pool workers after a warm-up pass — load it from
+    :mod:`repro.topology.diskstore` instead of re-deciding.
+    """
+    cache_key = None
+    if diskstore.store_enabled():
+        cache_key = diskstore.content_hash(
+            f"{diskstore.task_key(task)}:rounds={max_rounds}"
+        )
+        cached = diskstore.load("verdict", cache_key)
+        if isinstance(cached, SolvabilityVerdict):
+            return cached
+    verdict = decide_solvability(task, max_rounds=max_rounds)
+    if cache_key is not None:
+        diskstore.store("verdict", cache_key, verdict)
+    return verdict
+
+
 def run_census(
     seeds,
     generator: Callable[[int], Task] = random_single_input_task,
@@ -107,7 +130,7 @@ def run_census(
     with span("census") as census_span:
         for seed in seeds:
             task = generator(seed)
-            census.add(decide_solvability(task, max_rounds=max_rounds))
+            census.add(_decide_with_store(task, max_rounds))
             counter_add("census.tasks")
         annotate(census_span, population=census.population)
         # seed-determined, so under the default "max" merge policy the

@@ -22,6 +22,7 @@ pins this down, including the 1-worker degenerate case.
 
 from __future__ import annotations
 
+import gc
 import multiprocessing
 import os
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -35,6 +36,34 @@ from .census import Census, run_census
 def default_workers() -> int:
     """Worker count when unspecified: the machine's CPU count."""
     return os.cpu_count() or 1
+
+
+def adaptive_chunksize(population: int, workers: int) -> int:
+    """Derive a chunk size from the population and the worker count.
+
+    Two regimes:
+
+    * **oversubscribed** (``workers >= cpu_count``): extra chunks only add
+      dispatch round-trips, since no idle CPU exists to steal them — use
+      one contiguous chunk per worker;
+    * **undersubscribed**: split each worker's fair share into ~4 chunks
+      so the pool's dynamic dispatch rebalances uneven task costs (random
+      tasks vary wildly in decision time), without paying per-seed
+      round-trip overhead.
+
+    Degenerate configurations are rejected loudly rather than silently
+    clamped.
+    """
+    if population < 1:
+        raise ValueError(
+            f"cannot derive a chunksize for an empty population ({population=})"
+        )
+    if workers < 1:
+        raise ValueError(f"workers must be at least 1, got {workers}")
+    per_worker = -(-population // workers)  # ceil
+    if workers >= (os.cpu_count() or 1):
+        return per_worker
+    return max(1, -(-per_worker // 4))
 
 
 def _chunks(seeds: Sequence[int], chunksize: int) -> List[Sequence[int]]:
@@ -63,7 +92,7 @@ def parallel_census(
     generator: Callable[[int], Task] = random_single_input_task,
     max_rounds: int = 1,
     workers: Optional[int] = None,
-    chunksize: int = 8,
+    chunksize: Optional[int] = None,
     start_method: Optional[str] = None,
 ) -> Census:
     """Decide a seeded population in parallel and merge the aggregates.
@@ -81,7 +110,9 @@ def parallel_census(
         least 1 when given; ``workers == 1`` runs serially in-process (the
         degenerate case — no pool is spawned).
     chunksize:
-        Seeds per dispatched work item; must be at least 1.
+        Seeds per dispatched work item; must be at least 1.  ``None``
+        (the default) derives it from the population and worker count via
+        :func:`adaptive_chunksize`.
     start_method:
         ``multiprocessing`` start method (``"fork"``, ``"spawn"``, …);
         ``None`` uses the platform default.
@@ -96,8 +127,11 @@ def parallel_census(
     the same workload).
     """
     seed_list = list(seeds)
-    if chunksize < 1:
-        raise ValueError(f"chunksize must be at least 1, got {chunksize}")
+    if chunksize is not None and chunksize < 1:
+        raise ValueError(
+            f"chunksize must be at least 1, got {chunksize} "
+            "(pass None to derive it from the population and worker count)"
+        )
     if workers is not None and workers < 1:
         raise ValueError(
             f"workers must be at least 1, got {workers} "
@@ -106,6 +140,8 @@ def parallel_census(
     n_workers = default_workers() if workers is None else workers
     if n_workers <= 1 or len(seed_list) <= 1:
         return run_census(seed_list, generator=generator, max_rounds=max_rounds)
+    if chunksize is None:
+        chunksize = adaptive_chunksize(len(seed_list), n_workers)
 
     trace = tracing_enabled()
     jobs = [
@@ -118,12 +154,24 @@ def parallel_census(
         if start_method is not None
         else multiprocessing.get_context()
     )
+    # Warm the parent's interning tables and memo caches with the first
+    # chunk's tasks before forking, then freeze the heap: fork-sharing the
+    # warmed read-only structures keeps the workers' copy-on-write pages
+    # intact (the freeze stops the cycle collector from touching shared
+    # refcount/gc headers), so workers start from shared warm tables
+    # instead of rebuilding vertex/simplex pools from scratch.
+    prewarm = [generator(s) for s in jobs[0][1]]
+    gc.freeze()
     merged = Census()
-    with ctx.Pool(processes=n_workers) as pool:
-        for part, snapshot in pool.imap_unordered(_census_chunk, jobs):
-            merged.merge(part)
-            if snapshot is not None:
-                merge_worker_snapshot(snapshot)
+    try:
+        with ctx.Pool(processes=n_workers) as pool:
+            for part, snapshot in pool.imap_unordered(_census_chunk, jobs):
+                merged.merge(part)
+                if snapshot is not None:
+                    merge_worker_snapshot(snapshot)
+    finally:
+        gc.unfreeze()
+        del prewarm
     return merged
 
 
@@ -131,7 +179,7 @@ def parallel_sparse_census(
     seeds: Iterable[int],
     max_rounds: int = 1,
     workers: Optional[int] = None,
-    chunksize: int = 8,
+    chunksize: Optional[int] = None,
     start_method: Optional[str] = None,
 ) -> Census:
     """Parallel census over the sparser (LAP-richer) random family."""

@@ -32,6 +32,7 @@ import numpy as np
 
 from ..splitting.lap import LocalArticulationPoint, local_articulation_points
 from ..tasks.task import Task
+from ..topology.bitcore import bitcore_enabled
 from ..topology.complexes import SimplicialComplex
 from ..topology.homology import (
     ChainBasis,
@@ -59,6 +60,95 @@ class ObstructionWitness:
 # ---------------------------------------------------------------------------
 # LAP-aware split graphs
 # ---------------------------------------------------------------------------
+
+
+class _SplitGraph:
+    """Plain-dict 1-skeleton used by the bitcore-enabled obstruction path.
+
+    Same node/edge structure as :func:`_lap_split_graph`, without the
+    :mod:`networkx` object overhead — the obstruction checks only need
+    reachability and a forest test, both cheap on adjacency sets.
+    """
+
+    __slots__ = ("adj", "edges")
+
+    def __init__(self) -> None:
+        self.adj: Dict[Hashable, set] = {}
+        self.edges: List[Tuple[Hashable, Hashable]] = []
+
+    def add_node(self, node: Hashable) -> None:
+        if node not in self.adj:
+            self.adj[node] = set()
+
+    def add_edge(self, a: Hashable, b: Hashable) -> None:
+        self.add_node(a)
+        self.add_node(b)
+        if b not in self.adj[a]:
+            self.edges.append((a, b))
+        self.adj[a].add(b)
+        self.adj[b].add(a)
+
+    def has_path(self, start: Hashable, end: Hashable) -> bool:
+        if start == end:
+            return True
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            nxt: List[Hashable] = []
+            for u in frontier:
+                for w in self.adj[u]:
+                    if w == end:
+                        return True
+                    if w not in seen:
+                        seen.add(w)
+                        nxt.append(w)
+            frontier = nxt
+        return False
+
+    def has_cycle(self) -> bool:
+        # union-find over the (deduplicated) edge list
+        parent: Dict[Hashable, Hashable] = {}
+
+        def find(x: Hashable) -> Hashable:
+            root = x
+            while parent.setdefault(root, root) != root:
+                root = parent[root]
+            while parent[x] != root:
+                parent[x], x = root, parent[x]
+            return root
+
+        for a, b in self.edges:
+            ra, rb = find(a), find(b)
+            if ra == rb:
+                return True
+            parent[ra] = rb
+        return False
+
+
+def _lap_split_light(
+    complex_: SimplicialComplex,
+    laps: Dict[Vertex, LocalArticulationPoint],
+) -> Tuple[_SplitGraph, Dict[Vertex, List]]:
+    """:func:`_lap_split_graph` on a :class:`_SplitGraph` (bitcore path)."""
+    g = _SplitGraph()
+    copies: Dict[Vertex, List] = {}
+    for v in complex_.vertices:
+        if v in laps:
+            copies[v] = [(v, i) for i in range(laps[v].n_components)]
+        else:
+            copies[v] = [v]
+        for node in copies[v]:
+            g.add_node(node)
+
+    def node_for(y: Vertex, other: Vertex):
+        if y not in laps:
+            return y
+        return (y, laps[y].component_of(other))
+
+    for e in complex_.simplices(dim=1):
+        a, b = e.sorted_vertices()
+        g.add_edge(node_for(a, b), node_for(b, a))
+    return g, copies
 
 
 def _lap_split_graph(
@@ -130,7 +220,12 @@ def corollary_5_5(task: Task) -> Optional[ObstructionWitness]:
             if edge not in task.input_complex:
                 continue
             image = task.delta(edge)
-            graph, copies = _lap_split_graph(image, laps)
+            if bitcore_enabled():
+                light, copies = _lap_split_light(image, laps)
+                reachable = light.has_path
+            else:
+                graph, copies = _lap_split_graph(image, laps)
+                reachable = lambda a, b: nx.has_path(graph, a, b)  # noqa: E731
             ys = set(task.delta(Simplex([x])).vertices)
             yps = set(task.delta(Simplex([xp])).vertices)
             connected = False
@@ -139,7 +234,7 @@ def corollary_5_5(task: Task) -> Optional[ObstructionWitness]:
                     if y not in copies or yp not in copies:
                         continue
                     if any(
-                        nx.has_path(graph, cy, cyp)
+                        reachable(cy, cyp)
                         for cy in copies[y]
                         for cyp in copies[yp]
                     ):
@@ -175,11 +270,16 @@ def corollary_5_6(task: Task) -> Optional[ObstructionWitness]:
     skel_image = task.delta.union_image(
         Simplex(pair) for pair in itertools.combinations(sigma.sorted_vertices(), 2)
     )
-    graph, _ = _lap_split_graph(skel_image, laps)
-    if nx.number_of_edges(graph) >= nx.number_of_nodes(graph) or any(
-        True for _ in nx.cycle_basis(graph)
-    ):
-        return None
+    if bitcore_enabled():
+        light, _ = _lap_split_light(skel_image, laps)
+        if len(light.edges) >= len(light.adj) or light.has_cycle():
+            return None
+    else:
+        graph, _ = _lap_split_graph(skel_image, laps)
+        if nx.number_of_edges(graph) >= nx.number_of_nodes(graph) or any(
+            True for _ in nx.cycle_basis(graph)
+        ):
+            return None
     return ObstructionWitness(
         kind="corollary-5.6",
         facet=sigma,
@@ -195,6 +295,11 @@ def corollary_5_6(task: Task) -> Optional[ObstructionWitness]:
 def _path_in_subcomplex(
     sub: SimplicialComplex, start: Vertex, end: Vertex
 ) -> Optional[List[Vertex]]:
+    if bitcore_enabled():
+        # the chosen path only changes the boundary loop by a cycle of the
+        # edge image, which the integer system mods out — any shortest
+        # path is as good as networkx's
+        return sub._bits().shortest_path(start, end)
     g = sub.graph()
     if start not in g or end not in g:
         return None

@@ -32,19 +32,41 @@ from ..topology.simplex import Simplex, Vertex
 from .lap import LocalArticulationPoint
 
 
-@dataclass(frozen=True)
 class SplitValue:
     """The value of a split copy: the original value plus a branch index.
 
     Values nest under repeated splitting; :func:`unsplit_value` unwinds to
     the original output value.
+
+    ``repr`` and ``hash`` are computed eagerly: split values are vertex
+    payloads, so subdivision vertices embed them in *their* reprs and sort
+    keys — without the cached string, nested splits made every vertex
+    comparison re-walk the whole SplitValue chain.
     """
 
-    base: Hashable
-    branch: int
+    __slots__ = ("base", "branch", "_repr_str", "_hash_value")
+
+    def __init__(self, base: Hashable, branch: int) -> None:
+        self.base = base
+        self.branch = branch
+        self._repr_str = f"{base!r}/{branch}"
+        self._hash_value = hash((SplitValue, base, branch))
 
     def __repr__(self) -> str:
-        return f"{self.base!r}/{self.branch}"
+        return self._repr_str
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, SplitValue):
+            return self.branch == other.branch and self.base == other.base
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash_value
+
+    def __reduce__(self):
+        return (SplitValue, (self.base, self.branch))
 
 
 def unsplit_value(value: Hashable) -> Hashable:

@@ -21,6 +21,7 @@ from typing import Optional, Tuple
 from ..obs import annotate, counter_add, span
 from ..tasks.canonical import CanonicalForm, canonicalize_if_needed
 from ..tasks.task import Task
+from ..topology import diskstore
 from ..topology.simplex import Vertex
 from .deformation import SplitStep, split_lap, unsplit_vertex
 from .lap import (
@@ -148,7 +149,18 @@ def link_connected_form(task: Task, max_steps: int = 10_000) -> TransformResult:
     solvability, together with the projection needed to pull protocols
     back.  The output complex is restricted to its reachable part first
     (the paper's standing assumption ``O = ∪_σ Δ(σ)``).
+
+    The transform is a pure function of the task, so the complete
+    :class:`TransformResult` (including the step record — callers' split
+    counters stay identical) is cached in the persistent store of
+    :mod:`repro.topology.diskstore`, keyed by the task's content hash.
     """
+    cache_key: Optional[str] = None
+    if diskstore.store_enabled():
+        cache_key = diskstore.task_key(task)
+        cached = diskstore.load("transform", cache_key)
+        if isinstance(cached, TransformResult):
+            return cached
     with span("canonicalize"):
         reachable = task.restrict_to_reachable()
         canonical = canonicalize_if_needed(reachable)
@@ -168,4 +180,6 @@ def link_connected_form(task: Task, max_steps: int = 10_000) -> TransformResult:
         task=pipeline.task,
     )
     assert is_link_connected_task(result.task) or task.input_complex.dim != 2
+    if cache_key is not None:
+        diskstore.store("transform", cache_key, result)
     return result

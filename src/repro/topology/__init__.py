@@ -4,6 +4,14 @@ Everything the task-solvability machinery rests on: simplices, chromatic
 complexes, carrier maps, simplicial maps, subdivisions, links and homology.
 """
 
+from . import diskstore
+from .bitcore import (
+    BitComplex,
+    bitcore_disabled,
+    bitcore_enabled,
+    bitcore_forced,
+    set_bitcore,
+)
 from .cache import (
     cache_clear,
     cache_info,
@@ -86,6 +94,12 @@ from .subdivision import (
 
 __all__ = [
     "Barycenter",
+    "BitComplex",
+    "bitcore_disabled",
+    "bitcore_enabled",
+    "bitcore_forced",
+    "set_bitcore",
+    "diskstore",
     "CarrierMap",
     "CarrierMapError",
     "ChainBasis",

@@ -16,17 +16,43 @@ it to measure the uncached baseline).
 
 from __future__ import annotations
 
-from typing import FrozenSet, Hashable, Iterable, Iterator, List, Optional, Tuple
+import itertools
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Tuple
 
 import networkx as nx
 
+from . import bitcore as _bitcore
 from .cache import memoized_method
 from .simplex import Simplex, color_of, vertex_sort_key
 
 
 def _reconstruct_complex(cls, facets, name):
-    """Pickle helper: rebuild from facets (caches are not serialized)."""
+    """Pickle helper: rebuild from facets (caches are not serialized).
+
+    Retained for pickles written by older versions; current pickles use
+    :func:`_restore_complex`.
+    """
     return cls(facets, name=name)
+
+
+def _restore_complex(cls, simplices, facets, vertices, dim, name):
+    """Pickle helper: restore the precomputed structure directly.
+
+    Closure, facet and canonical-order computation (and, for chromatic
+    subclasses, color validation) already ran in the process that pickled
+    the complex; re-running them on every unpickle made loading a cached
+    subdivision tower nearly as expensive as rebuilding it.  Memo caches
+    stay process-local and start empty.
+    """
+    self = object.__new__(cls)
+    object.__setattr__(self, "_simplices", frozenset(simplices))
+    object.__setattr__(self, "_facets", tuple(facets))
+    object.__setattr__(self, "_vertices", tuple(vertices))
+    object.__setattr__(self, "_dim", dim)
+    object.__setattr__(self, "name", name)
+    object.__setattr__(self, "_hash", None)
+    object.__setattr__(self, "_cache", None)
+    return self
 
 
 #: slots that define a complex's identity; frozen once ``__init__`` sets them
@@ -57,20 +83,46 @@ class SimplicialComplex:
     )
 
     def __init__(self, simplices: Iterable, name: Optional[str] = None):
-        converted: List[Simplex] = []
+        # The closure is computed over raw vertex frozensets so that each
+        # distinct face allocates exactly one Simplex, however many input
+        # simplices share it; sorting and per-face derived data stay lazy.
+        by_set: Dict[FrozenSet[Hashable], Simplex] = {}
+        tops: List[FrozenSet[Hashable]] = []
         for s in simplices:
-            converted.append(s if isinstance(s, Simplex) else Simplex(s))
-        closure = set()
-        for s in converted:
-            if s not in closure:
-                closure.update(s.faces())
-        self._simplices: FrozenSet[Simplex] = frozenset(closure)
+            if not isinstance(s, Simplex):
+                s = Simplex(s)
+            vs = s.vertices
+            if vs not in by_set:
+                by_set[vs] = s
+                tops.append(vs)
+        for vs in tops:
+            size = len(vs)
+            if size > 1:
+                items = tuple(vs)
+                for k in range(1, size):
+                    for combo in itertools.combinations(items, k):
+                        fs = frozenset(combo)
+                        if fs not in by_set:
+                            by_set[fs] = Simplex(fs)
+        # A simplex fails to be maximal iff it is a codimension-1 face of
+        # some simplex in the (downward-closed) collection, so one pass over
+        # all boundaries identifies every non-facet.
+        non_facets = set()
+        for vs in by_set:
+            if len(vs) > 1:
+                for v in vs:
+                    non_facets.add(vs - {v})
+        self._simplices: FrozenSet[Simplex] = frozenset(by_set.values())
         self._facets: Tuple[Simplex, ...] = tuple(
-            sorted(self._compute_facets(closure), key=Simplex.sort_key)
+            sorted(
+                (s for vs, s in by_set.items() if vs not in non_facets),
+                key=Simplex.sort_key,
+            )
         )
+        # downward closure guarantees every vertex appears as a singleton
         self._vertices: Tuple[Hashable, ...] = tuple(
             sorted(
-                {v for s in self._facets for v in s.vertices},
+                (next(iter(vs)) for vs in by_set if len(vs) == 1),
                 key=vertex_sort_key,
             )
         )
@@ -78,17 +130,6 @@ class SimplicialComplex:
         self.name = name
         self._hash: Optional[int] = None
         self._cache = None
-
-    @staticmethod
-    def _compute_facets(closure: set) -> List[Simplex]:
-        # A simplex fails to be maximal iff it is a codimension-1 face of
-        # some simplex in the (downward-closed) collection, so one pass over
-        # all boundaries identifies every non-facet.
-        non_facets = set()
-        for s in closure:
-            if s.dim > 0:
-                non_facets.update(s.boundary())
-        return [s for s in closure if s not in non_facets]
 
     def __setattr__(self, name: str, value) -> None:
         # The memoization layer (repro.topology.cache) assumes structural
@@ -158,9 +199,19 @@ class SimplicialComplex:
         return f"{label}(dim={self.dim}, facets={len(self._facets)}, simplices={len(self)})"
 
     def __reduce__(self):
-        # rebuild from facets on unpickle: caches stay process-local and the
-        # receiving process re-interns every simplex
-        return (_reconstruct_complex, (type(self), self._facets, self.name))
+        # ship the full precomputed structure: the receiving process
+        # re-interns every simplex but skips closure/sort recomputation
+        return (
+            _restore_complex,
+            (
+                type(self),
+                tuple(self._simplices),
+                self._facets,
+                self._vertices,
+                self._dim,
+                self.name,
+            ),
+        )
 
     # -- structure ------------------------------------------------------------
 
@@ -289,8 +340,19 @@ class SimplicialComplex:
         return self._graph().copy()
 
     @memoized_method
+    def _bits(self) -> "_bitcore.BitComplex":
+        """Bit-packed view of the 1- and 2-skeleton (:mod:`.bitcore`)."""
+        return _bitcore.BitComplex.from_complex(self)
+
+    @memoized_method
     def is_connected(self) -> bool:
         """Graph connectivity of the 1-skeleton (empty complex counts as connected)."""
+        if _bitcore.bitcore_enabled():
+            return self._bits().is_connected()
+        return self._legacy_is_connected()
+
+    def _legacy_is_connected(self) -> bool:
+        # object/networkx kernel, retained for the bitcore parity suite
         if not self._vertices:
             return True
         return nx.is_connected(self._graph())
@@ -298,6 +360,12 @@ class SimplicialComplex:
     @memoized_method
     def connected_components(self) -> Tuple[FrozenSet[Hashable], ...]:
         """Vertex sets of the connected components, in deterministic order."""
+        if _bitcore.bitcore_enabled():
+            return self._bits().connected_components()
+        return self._legacy_connected_components()
+
+    def _legacy_connected_components(self) -> Tuple[FrozenSet[Hashable], ...]:
+        # object/networkx kernel, retained for the bitcore parity suite
         comps = [frozenset(c) for c in nx.connected_components(self._graph())]
         comps.sort(key=lambda c: min(vertex_sort_key(v) for v in c))
         return tuple(comps)
@@ -315,8 +383,20 @@ class SimplicialComplex:
 
         This is the property the splitting pipeline of Section 4 establishes.
         """
-        return all(self.link(v).is_connected() for v in self._vertices)
+        if _bitcore.bitcore_enabled():
+            return self._bits().is_link_connected()
+        return self._legacy_is_link_connected()
+
+    def _legacy_is_link_connected(self) -> bool:
+        # object/networkx kernel, retained for the bitcore parity suite
+        return all(self.link(v)._legacy_is_connected() for v in self._vertices)
 
     def link_components(self, v: Hashable) -> Tuple[FrozenSet[Hashable], ...]:
         """Connected components (vertex sets) of ``link(v)``."""
-        return self.link(v).connected_components()
+        if _bitcore.bitcore_enabled():
+            return self._bits().link_components(v)
+        return self._legacy_link_components(v)
+
+    def _legacy_link_components(self, v: Hashable) -> Tuple[FrozenSet[Hashable], ...]:
+        # object/networkx kernel, retained for the bitcore parity suite
+        return self.link(v)._legacy_connected_components()

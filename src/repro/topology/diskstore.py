@@ -1,0 +1,241 @@
+"""Persistent content-addressed store for subdivision towers and transforms.
+
+Iterated chromatic subdivisions ``Ch^r(I)`` and link-connected transforms
+are pure functions of their input complex/task, yet they dominate the
+decision procedure's runtime and are recomputed by every CLI invocation
+and every census pool worker.  This module gives them a small on-disk
+cache:
+
+* objects are pickled under ``<store dir>/<namespace>/<kk>/<key>.pkl``
+  where ``key`` is a SHA-256 content hash of the *mathematical* input
+  (canonical facet reprs — never object identities or memory addresses),
+  so any process that constructs an equal complex gets a hit;
+* the directory resolves like the telemetry store path: an explicit
+  argument wins, then the ``REPRO_TOWER_CACHE`` environment variable,
+  then ``.repro/towers`` under the current directory.  Setting the
+  variable to ``0``/``off``/``false``/``no``/``disabled`` turns the store
+  off entirely;
+* writes are atomic (temp file + ``os.replace``) so a crashed writer can
+  never leave a torn pickle, and a corrupted or unreadable entry is
+  deleted and silently recomputed;
+* every hit/miss/write/corruption increments a ``diskstore.<namespace>.*``
+  counter in :mod:`repro.obs`, so ``repro obs diff`` can lock cache
+  effectiveness in against committed baselines.
+
+The store piggybacks on the in-memory cache switch: inside
+``caching_disabled()`` blocks (how benchmarks measure honest uncached
+baselines) the disk layer is bypassed too.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+from .cache import caching_enabled
+
+
+def _count(name: str) -> None:
+    # deferred import: repro.obs pulls in topology.cache during its own
+    # initialization, so importing counter_add at module scope would cycle
+    from ..obs import counter_add
+
+    counter_add(name)
+
+#: environment variable naming the store directory (or disabling the store)
+ENV_VAR = "REPRO_TOWER_CACHE"
+
+#: default store directory, relative to the current working directory
+DEFAULT_DIR = os.path.join(".repro", "towers")
+
+#: environment values that disable the store instead of naming a directory
+_OFF_VALUES = frozenset({"0", "off", "false", "no", "disabled"})
+
+_override_dir: Optional[str] = None
+_enabled: bool = True
+
+
+def resolve_store_dir(path: Optional[str] = None) -> Optional[str]:
+    """Resolve the store directory: argument > override > env > default.
+
+    Returns ``None`` when the environment variable explicitly disables
+    the store.
+    """
+    if path:
+        return path
+    if _override_dir is not None:
+        return _override_dir
+    env = os.environ.get(ENV_VAR)
+    if env is not None and env.strip():
+        if env.strip().lower() in _OFF_VALUES:
+            return None
+        return env
+    return DEFAULT_DIR
+
+
+def store_enabled() -> bool:
+    """Whether loads/stores are live right now.
+
+    False when programmatically disabled, when ``REPRO_TOWER_CACHE`` is an
+    off-value, or inside ``caching_disabled()`` (uncached benchmarks must
+    not be quietly served from disk).
+    """
+    if not _enabled:
+        return False
+    if not caching_enabled():
+        return False
+    return resolve_store_dir() is not None
+
+
+def set_store(enabled: bool) -> bool:
+    """Enable/disable the disk store; returns the previous state."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def store_disabled() -> Iterator[None]:
+    """Context manager: run a block with the disk store off."""
+    previous = set_store(False)
+    try:
+        yield
+    finally:
+        set_store(previous)
+
+
+@contextmanager
+def store_at(path: str) -> Iterator[str]:
+    """Context manager: redirect the store to ``path`` (and enable it)."""
+    global _override_dir, _enabled
+    prev_dir, prev_enabled = _override_dir, _enabled
+    _override_dir = path
+    _enabled = True
+    try:
+        yield path
+    finally:
+        _override_dir, _enabled = prev_dir, prev_enabled
+
+
+# ---------------------------------------------------------------------------
+# Content keys
+# ---------------------------------------------------------------------------
+
+
+def content_hash(text: str) -> str:
+    """Stable hex digest of a canonical text description."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:40]
+
+
+def complex_key(k) -> str:
+    """Content hash of a complex: its canonical facet reprs.
+
+    Facets are in canonical sorted order and vertex reprs are
+    deterministic, so equal complexes hash equally in every process —
+    and any change to the complex (or to the repr format) invalidates
+    the key.
+    """
+    return content_hash("\n".join(repr(f) for f in k.facets))
+
+
+def task_key(task) -> str:
+    """Content hash of a task: input/output facets plus the carrier map."""
+    parts = [
+        "in:" + "\n".join(repr(f) for f in task.input_complex.facets),
+        "out:" + "\n".join(repr(f) for f in task.output_complex.facets),
+    ]
+    for s, image in sorted(task.delta.items(), key=lambda kv: kv[0].sort_key()):
+        parts.append(f"{s!r}=>" + ";".join(repr(f) for f in image.facets))
+    return content_hash("\n".join(parts))
+
+
+# ---------------------------------------------------------------------------
+# Load / store
+# ---------------------------------------------------------------------------
+
+
+def _entry_path(namespace: str, key: str, root: Optional[str]) -> Optional[str]:
+    base = resolve_store_dir(root)
+    if base is None:
+        return None
+    return os.path.join(base, namespace, key[:2], key + ".pkl")
+
+
+def load(namespace: str, key: str, root: Optional[str] = None) -> Optional[Any]:
+    """Fetch a stored object, or ``None`` on miss/corruption/disabled.
+
+    A corrupted entry (torn write, incompatible pickle) is removed so the
+    follow-up :func:`store` replaces it with a fresh one.
+    """
+    if not store_enabled():
+        return None
+    path = _entry_path(namespace, key, root)
+    if path is None:
+        return None
+    try:
+        with open(path, "rb") as fh:
+            obj = pickle.load(fh)
+    except FileNotFoundError:
+        _count(f"diskstore.{namespace}.miss")
+        return None
+    except Exception:
+        _count(f"diskstore.{namespace}.corrupt")
+        try:
+            os.remove(path)
+        except OSError:  # pragma: no cover - racing removers
+            pass
+        return None
+    _count(f"diskstore.{namespace}.hit")
+    return obj
+
+
+def store(namespace: str, key: str, obj: Any, root: Optional[str] = None) -> Optional[str]:
+    """Persist an object atomically; returns the entry path (or ``None``).
+
+    Failures (unwritable directory, unpicklable object) are swallowed —
+    the store is an accelerator, never a correctness dependency.
+    """
+    if not store_enabled():
+        return None
+    path = _entry_path(namespace, key, root)
+    if path is None:
+        return None
+    directory = os.path.dirname(path)
+    try:
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    except OSError:
+        return None
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            pickle.dump(obj, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+    except Exception:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        return None
+    _count(f"diskstore.{namespace}.write")
+    return path
+
+
+__all__ = [
+    "DEFAULT_DIR",
+    "ENV_VAR",
+    "complex_key",
+    "content_hash",
+    "load",
+    "resolve_store_dir",
+    "set_store",
+    "store",
+    "store_at",
+    "store_disabled",
+    "store_enabled",
+    "task_key",
+]

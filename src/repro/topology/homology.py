@@ -21,6 +21,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from . import bitcore as _bitcore
 from .complexes import SimplicialComplex
 from .simplex import Simplex
 
@@ -73,7 +74,18 @@ def boundary_matrix(basis: ChainBasis, k: int) -> np.ndarray:
 
 
 def rank_mod2(a: np.ndarray) -> int:
-    """Rank of a matrix over GF(2) by Gaussian elimination."""
+    """Rank of a matrix over GF(2) by Gaussian elimination.
+
+    Dispatches to the bit-packed elimination of :mod:`.bitcore` (one
+    integer per row, XOR row updates) when enabled; the numpy kernel below
+    is retained as the legacy/parity path.
+    """
+    if _bitcore.bitcore_enabled():
+        return _bitcore.gf2_rank(_bitcore.pack_rows(a))
+    return _legacy_rank_mod2(a)
+
+
+def _legacy_rank_mod2(a: np.ndarray) -> int:
     m = (np.array(a, dtype=np.int64) % 2).astype(np.uint8)
     rows, cols = m.shape
     rank = 0
@@ -96,7 +108,28 @@ def rank_mod2(a: np.ndarray) -> int:
 
 
 def solve_mod2(a: np.ndarray, b: np.ndarray) -> Optional[np.ndarray]:
-    """Solve ``A x = b`` over GF(2); return a solution or ``None``."""
+    """Solve ``A x = b`` over GF(2); return a solution or ``None``.
+
+    Dispatches to :func:`repro.topology.bitcore.gf2_solve` when the
+    packed kernels are enabled; the numpy path is the legacy/parity one.
+    """
+    if _bitcore.bitcore_enabled():
+        a_arr = np.asarray(a)
+        ncols = a_arr.shape[1] if a_arr.ndim == 2 else 0
+        rows = _bitcore.pack_rows(a_arr)
+        rhs = [int(v) & 1 for v in np.asarray(b).reshape(-1)]
+        packed = _bitcore.gf2_solve(rows, rhs, ncols)
+        if packed is None:
+            return None
+        x = np.zeros(ncols, dtype=np.uint8)
+        for c in range(ncols):
+            if packed >> c & 1:
+                x[c] = 1
+        return x
+    return _legacy_solve_mod2(a, b)
+
+
+def _legacy_solve_mod2(a: np.ndarray, b: np.ndarray) -> Optional[np.ndarray]:
     a2 = (np.array(a, dtype=np.int64) % 2).astype(np.uint8)
     b2 = (np.array(b, dtype=np.int64) % 2).astype(np.uint8).reshape(-1)
     rows, cols = a2.shape
@@ -289,8 +322,72 @@ def cycle_space_generators(k: SimplicialComplex) -> List[np.ndarray]:
     """Fundamental 1-cycles of the 1-skeleton (one per non-tree edge).
 
     Returned as integer vectors in the edge basis of ``k``.  Together with
-    the boundaries of 2-simplices they span all 1-cycles.
+    the boundaries of 2-simplices they span all 1-cycles.  Any spanning
+    forest yields a basis of the same integral cycle lattice, so the fast
+    path (a plain BFS forest with parent pointers) and the legacy path
+    (networkx spanning tree + shortest paths) are interchangeable for
+    every caller — the obstruction test only quotients by their span.
     """
+    if _bitcore.bitcore_enabled():
+        return _bfs_cycle_space_generators(k)
+    return _legacy_cycle_space_generators(k)
+
+
+def _bfs_cycle_space_generators(k: SimplicialComplex) -> List[np.ndarray]:
+    from collections import deque
+
+    basis = ChainBasis.of(k)
+    edges = basis.by_dim[1] if len(basis.by_dim) > 1 else ()
+    if not edges:
+        return []
+    adj: Dict[Hashable, List[Hashable]] = {v: [] for v in k.vertices}
+    for e in edges:
+        a, b = e.sorted_vertices()
+        adj[a].append(b)
+        adj[b].append(a)
+    parent: Dict[Hashable, Optional[Hashable]] = {}
+    depth: Dict[Hashable, int] = {}
+    for root in k.vertices:
+        if root in parent:
+            continue
+        parent[root] = None
+        depth[root] = 0
+        queue = deque([root])
+        while queue:
+            u = queue.popleft()
+            for w in adj[u]:
+                if w not in parent:
+                    parent[w] = u
+                    depth[w] = depth[u] + 1
+                    queue.append(w)
+    forest = {frozenset((w, p)) for w, p in parent.items() if p is not None}
+    cycles = []
+    for e in edges:
+        a, b = e.sorted_vertices()
+        if frozenset((a, b)) in forest:
+            continue
+        # walk both endpoints up to their lowest common ancestor
+        ups_a = [a]
+        ups_b = [b]
+        pa, pb = a, b
+        while depth[pa] > depth[pb]:
+            pa = parent[pa]
+            ups_a.append(pa)
+        while depth[pb] > depth[pa]:
+            pb = parent[pb]
+            ups_b.append(pb)
+        while pa != pb:
+            pa = parent[pa]
+            ups_a.append(pa)
+            pb = parent[pb]
+            ups_b.append(pb)
+        # closed path a → b → … → lca → … → a
+        path = ups_b + list(reversed(ups_a[:-1]))
+        cycles.append(edge_chain(basis, [a] + path))
+    return cycles
+
+
+def _legacy_cycle_space_generators(k: SimplicialComplex) -> List[np.ndarray]:
     import networkx as nx
 
     basis = ChainBasis.of(k)

@@ -42,7 +42,11 @@ def vertex_sort_key(v: Hashable) -> Tuple:
     vertex sorts by its type name and ``repr``.
     """
     if isinstance(v, Vertex):
-        return (0, v.color, repr(v.value))
+        key = v._skey
+        if key is None:
+            key = (0, v.color, repr(v.value))
+            object.__setattr__(v, "_skey", key)
+        return key
     return (1, type(v).__name__, repr(v))
 
 
@@ -53,7 +57,7 @@ class Vertex:
     ``n``-process system) and ``value`` is any hashable payload.
     """
 
-    __slots__ = ("color", "value", "_hash")
+    __slots__ = ("color", "value", "_hash", "_skey")
 
     def __init__(self, color: int, value: Hashable):
         if not isinstance(color, int):
@@ -65,6 +69,9 @@ class Vertex:
         object.__setattr__(self, "color", color)
         object.__setattr__(self, "value", value)
         object.__setattr__(self, "_hash", h)
+        # sort key computed lazily by vertex_sort_key (repr of nested views
+        # is the expensive part; most vertices are never compared)
+        object.__setattr__(self, "_skey", None)
 
     def __setattr__(self, name: str, val: Any) -> None:
         raise AttributeError(f"Vertex is immutable (cannot set {name!r})")

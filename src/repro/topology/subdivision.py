@@ -24,6 +24,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Tuple
 
+from . import diskstore
 from .carrier import CarrierMap
 from .chromatic import ChromaticComplex
 from .complexes import SimplicialComplex
@@ -233,45 +234,76 @@ class SubdivisionTower:
 
     ``step`` is a one-round subdivision function such as
     :func:`chromatic_subdivision` or :func:`barycentric_subdivision`.
+
+    Levels ``r >= 1`` are additionally cached in the persistent store of
+    :mod:`repro.topology.diskstore`, keyed by ``(content hash of the base
+    complex, subdivision kind, r)`` — so successive CLI runs and census
+    pool workers load ``Ch^r(I)`` instead of rebuilding it.  Pass
+    ``persist=False`` (or disable the store) to keep a tower purely
+    in-memory.
     """
 
-    __slots__ = ("base", "step", "_levels")
+    __slots__ = ("base", "step", "_levels", "_persist", "_base_key")
 
-    def __init__(self, base: SimplicialComplex, step) -> None:
+    def __init__(self, base: SimplicialComplex, step, persist: bool = True) -> None:
         self.base = base
         self.step = step
-        identity = SubdivisionResult(
-            base=base,
-            complex=base,
-            carrier=CarrierMap(
-                base,
-                base,
-                {s: SimplicialComplex([s]) for s in base.simplices()},
-                check=False,
-            ),
-        )
-        self._levels: List[SubdivisionResult] = [identity]
+        self._persist = persist
+        self._base_key: Optional[str] = None
+        # built lazily (r -> result): a warm-store tower asked for level r
+        # loads it directly and never materializes the lower levels at all
+        self._levels: Dict[int, SubdivisionResult] = {}
 
     @property
     def depth(self) -> int:
         """The deepest level built so far."""
-        return len(self._levels) - 1
+        return max(self._levels, default=0)
+
+    def _level_key(self, r: int) -> str:
+        """Store key for level ``r``: base content hash + step kind + depth."""
+        if self._base_key is None:
+            self._base_key = diskstore.complex_key(self.base)
+        kind = getattr(self.step, "__name__", type(self.step).__name__)
+        return diskstore.content_hash(f"{self._base_key}:{kind}:{r}")
 
     def level(self, r: int) -> SubdivisionResult:
         """``Sd^r(K)`` with the composed carrier ``K → Sd^r(K)``."""
         if r < 0:
             raise ValueError("rounds must be non-negative")
-        while len(self._levels) <= r:
-            prev = self._levels[-1]
-            step = self.step(prev.complex)
-            self._levels.append(
-                SubdivisionResult(
-                    base=self.base,
-                    complex=step.complex,
-                    carrier=prev.carrier.compose(step.carrier),
-                )
+        got = self._levels.get(r)
+        if got is not None:
+            return got
+        if r == 0:
+            base = self.base
+            result = SubdivisionResult(
+                base=base,
+                complex=base,
+                carrier=CarrierMap(
+                    base,
+                    base,
+                    {s: SimplicialComplex([s]) for s in base.simplices()},
+                    check=False,
+                ),
             )
-        return self._levels[r]
+            self._levels[0] = result
+            return result
+        persisting = self._persist and diskstore.store_enabled()
+        if persisting:
+            cached = diskstore.load("tower", self._level_key(r))
+            if isinstance(cached, SubdivisionResult):
+                self._levels[r] = cached
+                return cached
+        prev = self.level(r - 1)
+        step = self.step(prev.complex)
+        result = SubdivisionResult(
+            base=self.base,
+            complex=step.complex,
+            carrier=prev.carrier.compose(step.carrier),
+        )
+        self._levels[r] = result
+        if persisting:
+            diskstore.store("tower", self._level_key(r), result)
+        return result
 
     def levels(self, up_to: int) -> Iterator[SubdivisionResult]:
         """Yield levels ``0 … up_to`` in order (building lazily)."""

@@ -174,6 +174,69 @@ class TestRC405Nondeterminism:
         assert lint(src, relpath="solvability/decision.py") == []
 
 
+class TestRC406BitcoreLoops:
+    def test_constructor_in_loop_fires(self):
+        diags = lint(
+            """
+            def masks(self, items):
+                out = []
+                for m in items:
+                    out.append(Simplex(m))
+                return out
+            """,
+            relpath="topology/bitcore.py",
+        )
+        assert codes_of(diags) == ["RC406"]
+        assert "Simplex" in diags[0].message
+
+    def test_dotted_constructor_in_while_fires(self):
+        diags = lint(
+            """
+            def walk(queue):
+                while queue:
+                    v = simplex.Vertex(0, queue.pop())
+            """,
+            relpath="topology/bitcore.py",
+        )
+        assert codes_of(diags) == ["RC406"]
+
+    def test_constructor_in_comprehension_fires(self):
+        diags = lint(
+            "def f(ms):\n    return [SimplicialComplex(m) for m in ms]\n",
+            relpath="topology/bitcore.py",
+        )
+        assert codes_of(diags) == ["RC406"]
+
+    def test_decode_helper_exempt(self):
+        src = """
+        def _decode_mask(self, mask):
+            out = []
+            while mask:
+                out.append(Vertex(0, mask))
+                mask &= mask - 1
+            return frozenset(out)
+        """
+        assert lint(src, relpath="topology/bitcore.py") == []
+
+    def test_constructor_outside_loop_ok(self):
+        src = "def f(vs):\n    return Simplex(vs)\n"
+        assert lint(src, relpath="topology/bitcore.py") == []
+
+    def test_other_modules_unaffected(self):
+        src = "def f(ms):\n    return [Simplex(m) for m in ms]\n"
+        assert lint(src, relpath="topology/subdivision.py") == []
+
+    def test_nested_function_resets_loop_context(self):
+        # the loop belongs to the outer function; a nested def starts fresh
+        src = """
+        def f(items):
+            for m in items:
+                def g(vs):
+                    return Simplex(vs)
+        """
+        assert lint(src, relpath="topology/bitcore.py") == []
+
+
 class TestLiveTree:
     def test_package_sources_are_clean(self):
         diags = lint_paths()

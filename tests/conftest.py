@@ -35,6 +35,18 @@ def _isolated_telemetry(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_TELEMETRY", str(tmp_path / "telemetry.jsonl"))
 
 
+@pytest.fixture(autouse=True)
+def _isolated_tower_store(tmp_path, monkeypatch):
+    """Point $REPRO_TOWER_CACHE at a per-test directory.
+
+    The persistent subdivision-tower/transform store resolves to
+    ``.repro/towers`` by default; without this, any test that decides a
+    task would seed cross-test (and cross-run) warm state in the repo
+    checkout, making timings and counter assertions order-dependent.
+    """
+    monkeypatch.setenv("REPRO_TOWER_CACHE", str(tmp_path / "towers"))
+
+
 @pytest.fixture
 def triangle() -> Simplex:
     """A chromatic 2-simplex with three distinct colors."""

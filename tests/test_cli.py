@@ -303,10 +303,18 @@ class TestCensus:
 
 class TestObs:
     def _store_with_runs(self, tmp_path, count=2):
-        """Record ``count`` decide runs into a store; returns its path."""
+        """Record ``count`` decide runs into a store; returns its path.
+
+        Every run gets a fresh persistent-cache directory: the recorded
+        counters/cache rates must be run-over-run identical for the diff
+        tests, which a warm subdivision-tower store would break.
+        """
+        from repro.topology import diskstore
+
         store = tmp_path / "telemetry.jsonl"
-        for _ in range(count):
-            main(["decide", "hourglass", "--store", str(store)])
+        for i in range(count):
+            with diskstore.store_at(str(tmp_path / f"towers-{i}")):
+                main(["decide", "hourglass", "--store", str(store)])
         return store
 
     def test_traced_run_appends_a_valid_record(self, tmp_path, capsys):

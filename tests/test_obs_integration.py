@@ -22,7 +22,7 @@ from repro.tasks.zoo import (
     majority_consensus_task,
     pinwheel_task,
 )
-from repro.topology import cache_clear
+from repro.topology import cache_clear, diskstore
 
 
 @pytest.fixture(autouse=True)
@@ -101,11 +101,16 @@ class TestTracedDecide:
         assert set(traced.stats) == set(untraced.stats)
 
 
-def _census_aggregates(workers):
-    """Run the same traced workload; returns (census, counters, cache, gauges)."""
+def _census_aggregates(workers, store_dir):
+    """Run the same traced workload; returns (census, counters, cache, gauges).
+
+    Each invocation gets its own persistent-store directory so every run
+    is equally cold — otherwise the first run would warm the disk store
+    and the second would report hit counters instead of miss/write ones.
+    """
     obs.reset_recorder()
     cache_clear()
-    with obs.tracing():
+    with diskstore.store_at(str(store_dir)), obs.tracing():
         census = parallel_census(range(6), workers=workers, chunksize=2)
     recorder = obs.get_recorder()
     return (
@@ -117,13 +122,15 @@ def _census_aggregates(workers):
 
 
 class TestParallelAggregation:
-    def test_workers_counters_match_serial(self):
+    def test_workers_counters_match_serial(self, tmp_path):
         # regression: before the worker-snapshot merge, the parallel run's
         # recorder was empty — every counter and cache hit accumulated in
         # the pool workers was lost with the worker process.
-        serial_census, serial_counters, serial_cache, _ = _census_aggregates(1)
+        serial_census, serial_counters, serial_cache, _ = _census_aggregates(
+            1, tmp_path / "serial"
+        )
         parallel_census_t, parallel_counters, parallel_cache, _ = _census_aggregates(
-            2
+            2, tmp_path / "parallel"
         )
         assert parallel_census_t == serial_census
         assert parallel_counters == serial_counters
@@ -136,12 +143,12 @@ class TestParallelAggregation:
                 parallel_cache[query]["misses"] == serial_cache[query]["misses"]
             )
 
-    def test_workers_gauge_aggregates_match_serial(self):
+    def test_workers_gauge_aggregates_match_serial(self, tmp_path):
         # the census's max-splits gauge is seed-determined, so under the
         # default "max" merge policy the aggregate must not depend on how
         # the pool partitions the seeds — workers=1 and workers=N agree
-        *_, serial_gauges = _census_aggregates(1)
-        *_, parallel_gauges = _census_aggregates(2)
+        *_, serial_gauges = _census_aggregates(1, tmp_path / "serial")
+        *_, parallel_gauges = _census_aggregates(2, tmp_path / "parallel")
         assert "census.max_splits" in serial_gauges
         assert parallel_gauges == serial_gauges
 

@@ -9,10 +9,12 @@ serial fallback, chunksize > 1, one chunk total, and a real pool.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.analysis import Census, parallel_census, run_census, sparse_census
-from repro.analysis.parallel import parallel_sparse_census
+from repro.analysis.parallel import adaptive_chunksize, parallel_sparse_census
 from repro.tasks.zoo.random_tasks import random_sparse_task
 
 SEEDS = range(10)
@@ -77,6 +79,41 @@ def test_validation_precedes_generation():
 def test_generator_parameter_is_respected():
     par = parallel_census(range(4), generator=random_sparse_task, workers=2, chunksize=1)
     assert par.as_tuple() == sparse_census(range(4)).as_tuple()
+
+
+# -- Adaptive chunk sizing -----------------------------------------------------
+
+
+class TestAdaptiveChunksize:
+    def test_oversubscribed_uses_one_chunk_per_worker(self, monkeypatch):
+        # workers >= cpu_count: no idle CPU can steal extra chunks, so the
+        # population splits into exactly one contiguous chunk per worker
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        assert adaptive_chunksize(100, 4) == 25
+        assert adaptive_chunksize(101, 4) == 26  # ceil, never drops a seed
+        assert adaptive_chunksize(3, 8) == 1
+
+    def test_undersubscribed_splits_fair_share_in_four(self, monkeypatch):
+        # spare CPUs exist: each worker's fair share splits into ~4 chunks
+        # so dynamic dispatch can rebalance uneven decision costs
+        monkeypatch.setattr(os, "cpu_count", lambda: 16)
+        assert adaptive_chunksize(100, 4) == 7  # ceil(ceil(100/4) / 4)
+        assert adaptive_chunksize(8, 2) == 1  # floors at one seed per chunk
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(ValueError, match="empty population"):
+            adaptive_chunksize(0, 2)
+
+    @pytest.mark.parametrize("workers", [0, -2])
+    def test_rejects_nonpositive_workers(self, workers):
+        with pytest.raises(ValueError, match="workers must be at least 1"):
+            adaptive_chunksize(10, workers)
+
+    def test_default_chunksize_is_adaptive_and_invisible(self, serial):
+        # chunksize=None derives the adaptive size; aggregates are still
+        # identical to the serial engine's
+        par = parallel_census(SEEDS, workers=2, chunksize=None)
+        assert par.as_tuple() == serial.as_tuple()
 
 
 # -- Census aggregation primitives the engine relies on ------------------------

@@ -1,0 +1,190 @@
+"""Round-trip and fault-tolerance tests for the persistent tower store.
+
+:mod:`repro.topology.diskstore` is an accelerator, never a correctness
+dependency: everything it serves must be byte-equal (as mathematics) to a
+fresh recomputation, corruption must heal silently, and every disable
+switch — programmatic, environment, or the in-memory caching gate — must
+bypass it completely.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import pytest
+
+from repro.analysis import run_census
+from repro.obs import tracing
+from repro.splitting.pipeline import TransformResult, link_connected_form
+from repro.tasks.zoo.random_tasks import random_single_input_task
+from repro.topology import cache_clear, caching_disabled, diskstore
+from repro.topology.complexes import SimplicialComplex
+from repro.topology.subdivision import SubdivisionTower, barycentric_subdivision
+
+
+@pytest.fixture()
+def store(tmp_path):
+    """An isolated, enabled store directory for one test."""
+    path = str(tmp_path / "store")
+    with diskstore.store_at(path):
+        yield path
+
+
+def _tower_fingerprint(result):
+    """The mathematical content of a SubdivisionResult, identity-free."""
+    return (
+        result.base.facets,
+        result.complex.facets,
+        tuple((s, result.carrier(s).facets) for s in result.base.simplices()),
+    )
+
+
+# -- directory resolution and gating -------------------------------------------
+
+
+class TestResolution:
+    def test_explicit_argument_wins(self, store):
+        assert diskstore.resolve_store_dir("/elsewhere") == "/elsewhere"
+
+    def test_store_at_overrides_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(diskstore.ENV_VAR, "/from-env")
+        with diskstore.store_at(str(tmp_path / "o")) as path:
+            assert diskstore.resolve_store_dir() == path
+        assert diskstore.resolve_store_dir() == "/from-env"
+
+    def test_environment_then_default(self, monkeypatch):
+        monkeypatch.setenv(diskstore.ENV_VAR, "/from-env")
+        assert diskstore.resolve_store_dir() == "/from-env"
+        monkeypatch.delenv(diskstore.ENV_VAR)
+        assert diskstore.resolve_store_dir() == diskstore.DEFAULT_DIR
+
+    @pytest.mark.parametrize("value", ["0", "off", "FALSE", " no ", "disabled"])
+    def test_off_values_disable(self, value, monkeypatch):
+        monkeypatch.setenv(diskstore.ENV_VAR, value)
+        assert diskstore.resolve_store_dir() is None
+        assert not diskstore.store_enabled()
+
+    def test_store_disabled_context(self, store):
+        assert diskstore.store_enabled()
+        with diskstore.store_disabled():
+            assert not diskstore.store_enabled()
+            assert diskstore.load("tower", "anykey") is None
+            assert diskstore.store("tower", "anykey", object()) is None
+        assert diskstore.store_enabled()
+
+    def test_caching_disabled_bypasses_the_disk_too(self, store):
+        # uncached benchmark baselines must not be quietly served from disk
+        with caching_disabled():
+            assert not diskstore.store_enabled()
+
+    def test_set_store_returns_previous(self, store):
+        assert diskstore.set_store(False) is True
+        assert diskstore.set_store(True) is False
+
+
+# -- raw load/store ------------------------------------------------------------
+
+
+class TestRawRoundTrip:
+    def test_round_trip(self, store):
+        key = diskstore.content_hash("payload")
+        assert diskstore.load("tower", key) is None  # cold miss
+        path = diskstore.store("tower", key, {"answer": 42})
+        assert path is not None and os.path.exists(path)
+        assert diskstore.load("tower", key) == {"answer": 42}
+
+    def test_namespaces_do_not_collide(self, store):
+        key = diskstore.content_hash("same-key")
+        diskstore.store("tower", key, "a tower")
+        diskstore.store("transform", key, "a transform")
+        assert diskstore.load("tower", key) == "a tower"
+        assert diskstore.load("transform", key) == "a transform"
+
+    def test_unpicklable_objects_are_swallowed(self, store):
+        key = diskstore.content_hash("lambda")
+        assert diskstore.store("tower", key, lambda: None) is None
+        assert diskstore.load("tower", key) is None
+
+    def test_content_keys_are_stable_and_distinct(self):
+        k1 = SimplicialComplex([("a", "b"), ("b", "c")])
+        k2 = SimplicialComplex([("b", "c"), ("a", "b")])  # same complex
+        k3 = SimplicialComplex([("a", "c")])
+        assert diskstore.complex_key(k1) == diskstore.complex_key(k2)
+        assert diskstore.complex_key(k1) != diskstore.complex_key(k3)
+
+
+# -- subdivision towers --------------------------------------------------------
+
+
+class TestTowerPersistence:
+    def test_cold_write_then_warm_read_is_identical(self, store):
+        k = SimplicialComplex([("a", "b", "c")])
+        cold = SubdivisionTower(k, barycentric_subdivision).level(2)
+        # a brand-new tower (no in-memory levels) must load, not rebuild
+        with tracing() as rec:
+            before = rec.counters.get("diskstore.tower.hit", 0)
+            warm = SubdivisionTower(k, barycentric_subdivision).level(2)
+            assert rec.counters.get("diskstore.tower.hit", 0) == before + 1
+        assert _tower_fingerprint(warm) == _tower_fingerprint(cold)
+
+    def test_corrupted_entries_recompute_and_heal(self, store):
+        k = SimplicialComplex([("a", "b", "c")])
+        cold = SubdivisionTower(k, barycentric_subdivision).level(2)
+        entries = glob.glob(os.path.join(store, "tower", "*", "*.pkl"))
+        assert entries
+        for path in entries:
+            with open(path, "wb") as fh:
+                fh.write(b"not a pickle")
+        with tracing() as rec:
+            before = rec.counters.get("diskstore.tower.corrupt", 0)
+            again = SubdivisionTower(k, barycentric_subdivision).level(2)
+            corrupted = rec.counters.get("diskstore.tower.corrupt", 0) - before
+        assert corrupted >= 1
+        assert _tower_fingerprint(again) == _tower_fingerprint(cold)
+        # the torn entries were replaced by fresh, loadable ones
+        healed = glob.glob(os.path.join(store, "tower", "*", "*.pkl"))
+        assert healed
+        final = SubdivisionTower(k, barycentric_subdivision).level(2)
+        assert _tower_fingerprint(final) == _tower_fingerprint(cold)
+
+    def test_persist_false_never_touches_the_disk(self, store):
+        k = SimplicialComplex([("a", "b", "c")])
+        SubdivisionTower(k, barycentric_subdivision, persist=False).level(2)
+        assert not glob.glob(os.path.join(store, "tower", "*", "*.pkl"))
+
+
+# -- transform and verdict caches ----------------------------------------------
+
+
+class TestPipelineCaches:
+    def test_transform_round_trip(self, store):
+        task = random_single_input_task(3)
+        cold = link_connected_form(task)
+        cache_clear()
+        with tracing() as rec:
+            before = rec.counters.get("diskstore.transform.hit", 0)
+            warm = link_connected_form(random_single_input_task(3))
+            assert rec.counters.get("diskstore.transform.hit", 0) == before + 1
+        assert isinstance(warm, TransformResult)
+        assert warm.task.output_complex.facets == cold.task.output_complex.facets
+        assert warm.n_splits == cold.n_splits
+
+    def test_census_verdicts_round_trip(self, store):
+        seeds = range(6)
+        cold = run_census(seeds)
+        cache_clear()
+        with tracing() as rec:
+            before = rec.counters.get("diskstore.verdict.hit", 0)
+            warm = run_census(seeds)
+            hits = rec.counters.get("diskstore.verdict.hit", 0) - before
+        assert hits == len(seeds)
+        assert warm.as_tuple() == cold.as_tuple()
+
+    def test_census_with_store_off_matches_store_on(self, store):
+        seeds = range(6)
+        with_store = run_census(seeds)
+        cache_clear()
+        with diskstore.store_disabled():
+            without = run_census(seeds)
+        assert without.as_tuple() == with_store.as_tuple()
