@@ -14,7 +14,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from ..obs import annotate, counter_add, gauge_set, span
+from ..obs import annotate, counter_add, gauge_set, set_gauge_policy, span
 from ..solvability.decision import SolvabilityVerdict, Status, decide_solvability
 from ..tasks.task import Task
 from ..tasks.zoo.random_tasks import random_single_input_task, random_sparse_task
@@ -133,8 +133,9 @@ def run_census(
             census.add(_decide_with_store(task, max_rounds))
             counter_add("census.tasks")
         annotate(census_span, population=census.population)
-        # seed-determined, so under the default "max" merge policy the
+        # seed-determined, so under the declared "max" merge policy the
         # aggregate is identical however the pool partitions the seeds
+        set_gauge_policy("census.max_splits", "max")
         gauge_set("census.max_splits", max(census.splits_histogram, default=0))
     return census
 

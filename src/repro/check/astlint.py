@@ -145,6 +145,7 @@ LINT_RULES: Dict[str, str] = {
     "RC404": "mutable-topology-dataclass",
     "RC405": "nondeterministic-generation",
     "RC406": "legacy-construction-in-bitcore-loop",
+    "RC407": "unknown-suppression-code",
 }
 
 
@@ -454,11 +455,22 @@ def lint_source(source: str, relpath: str, filename: Optional[str] = None) -> Li
 
     ``relpath`` uses ``/`` separators relative to the package root, e.g.
     ``"topology/simplex.py"``; it decides which rule scopes apply.
+
+    Findings on a line carrying ``# repro: ignore[RCxxx]`` for their code
+    are dropped; suppressions naming unknown codes are reported as RC407.
     """
+    from .suppress import (
+        apply_suppressions,
+        find_suppressions,
+        unknown_suppression_diagnostics,
+    )
+
     tree = ast.parse(source, filename=filename or relpath)
     linter = _FileLinter(relpath=relpath, filename=filename or relpath)
     linter.visit(tree)
-    return linter.diagnostics
+    kept, _ = apply_suppressions(linter.diagnostics, find_suppressions(source))
+    kept.extend(unknown_suppression_diagnostics(source, relpath, filename))
+    return kept
 
 
 def package_root() -> str:

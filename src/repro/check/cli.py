@@ -1,6 +1,6 @@
 """The ``python -m repro check`` subcommand.
 
-Two modes share one entry point:
+Three modes share one entry point:
 
 * **domain mode** (default): verify zoo tasks and/or task JSON files with
   the Level-1 passes.  ``--deep`` additionally pushes each task through
@@ -8,10 +8,20 @@ Two modes share one entry point:
   ``link`` invariants.
 * **self mode** (``--self``): lint the library's own sources with the
   Level-2 AST rules and the gated ``mypy --strict`` / ``ruff`` runners.
+* **effects mode** (``--effects``): the Level-3 interprocedural
+  cache-soundness / fork-safety analysis of :mod:`repro.check.effects`,
+  judged against the committed effect baseline (override with
+  ``--baseline``, regenerate with ``--write-baseline``).  Combines with
+  ``--self`` for the full source gate.
 
 Output formats: ``text`` (default), ``json``, ``sarif``.  Exit status: 0
 when no error-severity finding (and no tool failure) was reported, 1
 otherwise; usage errors exit 2 via argparse.
+
+Check runs are observable like every other pipeline command: with
+``--trace``/``--store`` (or ``REPRO_TELEMETRY``) the run lands in the
+telemetry store with per-code diagnostic counts as counters, so
+``obs trend`` tracks finding counts across commits.
 """
 
 from __future__ import annotations
@@ -19,6 +29,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from collections import Counter
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:
@@ -108,20 +119,108 @@ def _domain_check(args: argparse.Namespace) -> CheckResult:
     return result
 
 
+def _filter_result(
+    result: CheckResult,
+    select: Optional[Sequence[str]],
+    ignore: Optional[Sequence[str]],
+) -> CheckResult:
+    """Apply ``--select``/``--ignore`` code prefixes to reported findings."""
+    if select is None and ignore is None:
+        return result
+
+    def keep(code: str) -> bool:
+        if select is not None and not any(code.startswith(p) for p in select):
+            return False
+        if ignore is not None and any(code.startswith(p) for p in ignore):
+            return False
+        return True
+
+    return CheckResult(
+        diagnostics=[d for d in result.diagnostics if keep(d.code)],
+        subjects=result.subjects,
+        passes_run=result.passes_run,
+    )
+
+
+def _record_obs_counters(result: CheckResult) -> None:
+    """Record finding counts into the active trace (no-op untraced).
+
+    One counter per reported code plus error/warning totals: the shape
+    ``obs trend`` needs to plot finding counts across stored check runs.
+    """
+    from .. import obs
+
+    if not obs.tracing_enabled():
+        return
+    for code, n in sorted(Counter(d.code for d in result.diagnostics).items()):
+        obs.counter_add(f"check.diag.{code}", float(n))
+    obs.counter_add(
+        "check.errors",
+        float(sum(1 for d in result.diagnostics if d.severity == "error")),
+    )
+    obs.counter_add(
+        "check.warnings",
+        float(sum(1 for d in result.diagnostics if d.severity == "warning")),
+    )
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     """Entry point for the ``check`` subcommand."""
-    if args.self_check:
-        if args.targets or args.deep:
-            raise SystemExit("--self cannot be combined with task targets or --deep")
-        result, tools = _self_check(args)
-        if args.strict_tools:
-            for t in tools:
-                if t.skipped:
-                    t.status = "failed"
-                    t.detail = f"required by --strict-tools but unavailable: {t.detail}"
-    else:
-        result = _domain_check(args)
-        tools = []
+    # lazy: __main__ owns the tracing context and imports this module
+    from ..__main__ import _tracing_to
+
+    if args.write_baseline:
+        if not args.effects:
+            raise SystemExit("--write-baseline requires --effects")
+        from .effects import DEFAULT_BASELINE_PATH, write_baseline
+
+        path = args.baseline or DEFAULT_BASELINE_PATH
+        payload = write_baseline(path)
+        n = sum(len(v) for v in payload["declared"].values())
+        print(f"wrote {path} ({n} declared effect(s))")
+        return 0
+    if args.baseline and not args.effects:
+        raise SystemExit("--baseline requires --effects")
+
+    source_mode = args.self_check or args.effects
+    if source_mode and (args.targets or args.deep):
+        raise SystemExit(
+            "--self/--effects cannot be combined with task targets or --deep"
+        )
+
+    with _tracing_to(args, "check"):
+        tools: List[ToolReport] = []
+        if source_mode:
+            result = CheckResult()
+            if args.self_check:
+                lint, tools = _self_check(args)
+                result.extend(lint)
+            if args.effects:
+                from .effects import effects_result
+
+                try:
+                    result.extend(
+                        effects_result(
+                            baseline_path=args.baseline,
+                            # --self already swept suppressions for RC407
+                            report_unknown_suppressions=not args.self_check,
+                        )
+                    )
+                except (FileNotFoundError, ValueError) as exc:
+                    raise SystemExit(f"effects baseline error: {exc}")
+            result = _filter_result(
+                result, _split_codes(args.select), _split_codes(args.ignore)
+            )
+            if args.strict_tools:
+                for t in tools:
+                    if t.skipped:
+                        t.status = "failed"
+                        t.detail = (
+                            f"required by --strict-tools but unavailable: {t.detail}"
+                        )
+        else:
+            result = _domain_check(args)
+        _record_obs_counters(result)
 
     report = render(args.format, result, tools, verbose=args.verbose)
     if args.output:
@@ -148,9 +247,10 @@ def add_check_parser(sub: "argparse._SubParsersAction") -> None:
         help="statically verify tasks (and the repo itself)",
         description=(
             "Level-1 domain verification of task invariants with stable "
-            "RCxxx diagnostics, and (--self) the Level-2 source lint + "
-            "mypy/ruff gate. See docs/static_analysis.md for the code "
-            "catalogue."
+            "RCxxx diagnostics, (--self) the Level-2 source lint + "
+            "mypy/ruff gate, and (--effects) the Level-3 interprocedural "
+            "cache-soundness/fork-safety analysis. See "
+            "docs/static_analysis.md for the code catalogue."
         ),
     )
     p.add_argument(
@@ -170,6 +270,25 @@ def add_check_parser(sub: "argparse._SubParsersAction") -> None:
         action="store_true",
         help="lint the repro sources (AST rules; plus mypy --strict and "
         "ruff when installed)",
+    )
+    p.add_argument(
+        "--effects",
+        action="store_true",
+        help="run the Level-3 interprocedural effect analysis (RC50x "
+        "cache-soundness + RC51x fork-safety) against the committed "
+        "effect baseline; combines with --self",
+    )
+    p.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="with --effects: judge findings against this baseline file "
+        "instead of the committed src/repro/check/effects_baseline.json",
+    )
+    p.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="with --effects: regenerate the baseline from the current "
+        "findings (preserving existing reasons) instead of checking",
     )
     p.add_argument(
         "--format",
@@ -199,4 +318,8 @@ def add_check_parser(sub: "argparse._SubParsersAction") -> None:
         help="with --self: treat missing mypy/ruff as failures (CI mode)",
     )
     p.add_argument("--verbose", action="store_true", help="list checked subjects")
+    # lazy: __main__ owns the observability flags and imports this module
+    from ..__main__ import _add_observability_args
+
+    _add_observability_args(p)
     p.set_defaults(fn=cmd_check)

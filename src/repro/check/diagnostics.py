@@ -15,6 +15,9 @@ Code ranges
   link-connectivity) that hold *after* the Section 3/4 transforms.
 * ``RC3xx`` — totality/reachability of the carrier map ``Δ``.
 * ``RC4xx`` — Level-2 source lints over ``src/repro`` itself.
+* ``RC5xx`` — Level-3 interprocedural effect analysis: cache-soundness
+  (``RC50x``) and fork-safety (``RC51x``) over the whole-package call
+  graph (:mod:`repro.check.effects`).
 """
 
 from __future__ import annotations
@@ -34,8 +37,8 @@ class CodeInfo:
 
     code: str
     slug: str
-    level: int  # 1 = domain pass, 2 = source lint
-    stage: str  # "structure" | "canonical" | "link" | "lint"
+    level: int  # 1 = domain pass, 2 = source lint, 3 = interprocedural
+    stage: str  # "structure" | "canonical" | "link" | "lint" | "effects"
     summary: str
 
 
@@ -199,6 +202,106 @@ CODES: Mapping[str, CodeInfo] = _registry(
         "objects (Simplex, Vertex, SimplicialComplex, …); the packed "
         "kernels must stay in integer bit masks, decoding only at the "
         "boundary.",
+    ),
+    CodeInfo(
+        "RC407",
+        "unknown-suppression-code",
+        2,
+        "lint",
+        "An inline suppression comment (`# repro: ignore[...]`) names a "
+        "diagnostic code that does not exist, so it suppresses nothing.",
+    ),
+    # -- RC50x: Level-3 cache-soundness (repro.check.effects) --------------
+    CodeInfo(
+        "RC501",
+        "unseeded-rng-under-cache",
+        3,
+        "effects",
+        "Unseeded randomness (module-level random, os.urandom, uuid4, "
+        "secrets) is reachable from a memoized or disk-persisted entry "
+        "point; cached verdicts would not be functions of their keys. "
+        "Hard error: cannot be declared in the baseline.",
+    ),
+    CodeInfo(
+        "RC502",
+        "env-read-under-cache",
+        3,
+        "effects",
+        "An os.environ/os.getenv read is reachable from a cached entry "
+        "point; results would depend on un-keyed process state. Hard "
+        "error: cannot be declared in the baseline.",
+    ),
+    CodeInfo(
+        "RC503",
+        "clock-under-cache",
+        3,
+        "effects",
+        "A wall/monotonic clock read is reachable from a cached entry "
+        "point without a baseline declaration that it only feeds "
+        "telemetry, never the cached value.",
+    ),
+    CodeInfo(
+        "RC504",
+        "filesystem-under-cache",
+        3,
+        "effects",
+        "Filesystem access outside the declared diskstore boundary is "
+        "reachable from a cached entry point.",
+    ),
+    CodeInfo(
+        "RC505",
+        "global-write-under-cache",
+        3,
+        "effects",
+        "A write to module-level or class-level state is reachable from a "
+        "cached entry point without a baseline declaration that the "
+        "mutation is idempotent and content-keyed.",
+    ),
+    CodeInfo(
+        "RC506",
+        "interned-mutation-under-cache",
+        3,
+        "effects",
+        "Mutation of interned Simplex/Vertex state is reachable from a "
+        "cached entry point; aliased copies shared across cache entries "
+        "would be corrupted.",
+    ),
+    CodeInfo(
+        "RC509",
+        "stale-baseline-entry",
+        3,
+        "effects",
+        "The committed effects baseline declares an effect the analysis "
+        "no longer finds; the entry should be removed so the baseline "
+        "stays an exact inventory.",
+    ),
+    # -- RC51x: Level-3 fork-safety (repro.check.effects) ------------------
+    CodeInfo(
+        "RC511",
+        "unpicklable-worker-dispatch",
+        3,
+        "effects",
+        "A lambda or nested closure is dispatched to a multiprocessing "
+        "pool; it is unpicklable under spawn and silently captures parent "
+        "state under fork.",
+    ),
+    CodeInfo(
+        "RC512",
+        "warm-table-mutation-in-worker",
+        3,
+        "effects",
+        "A pool worker mutates module-global or interned state (pre-fork "
+        "warm tables); the mutation is invisible to the parent and to "
+        "sibling workers, so results depend on process placement.",
+    ),
+    CodeInfo(
+        "RC513",
+        "undeclared-gauge-in-worker",
+        3,
+        "effects",
+        "Worker-reachable code sets an obs gauge whose merge policy is "
+        "never declared with set_gauge_policy(); cross-process snapshot "
+        "merging would silently apply the default.",
     ),
 )
 

@@ -14,7 +14,7 @@ mode runs them on the transformed task).
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Union
+from typing import Callable, Iterator, List, Optional, Sequence, Union
 
 from ..splitting.lap import iter_local_articulation_points
 from ..tasks.canonical import vertex_preimages
@@ -23,7 +23,10 @@ from ..topology.carrier import CarrierMap
 from ..topology.complexes import SimplicialComplex
 from ..topology.simplex import Simplex
 from .diagnostics import Diagnostic
-from .passes import CheckResult, DomainPass, iter_passes
+from .passes import CheckResult, DomainPass, PassFn, iter_passes
+
+#: A carrier rule: a pass body already narrowed to CarrierMap subjects.
+CarrierRule = Callable[[CarrierMap, str], Iterator[Diagnostic]]
 
 Subject = Union[Task, SimplicialComplex, CarrierMap]
 
@@ -318,7 +321,7 @@ def _pass_complex_improper_coloring(subject: object, where: str) -> Iterator[Dia
 # -- CarrierMap passes ------------------------------------------------------
 
 
-def _carrier_pass(rule):  # type: ignore[no-untyped-def]
+def _carrier_pass(rule: CarrierRule) -> PassFn:
     def run(subject: object, where: str) -> Iterator[Diagnostic]:
         assert isinstance(subject, CarrierMap)
         yield from rule(subject, where)

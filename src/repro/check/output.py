@@ -79,9 +79,16 @@ def _sarif_location(d: Diagnostic) -> Optional[Dict[str, Any]]:
         return None
     uri, line, col = parts
     try:
-        region = {"startLine": int(line), "startColumn": int(col)}
+        start_line, start_col = int(line), int(col)
     except ValueError:
         return None
+    # SARIF regions are 1-based; a zero/negative line means "no usable
+    # source position", so emit no location rather than an invalid one
+    if start_line < 1:
+        return None
+    region: Dict[str, Any] = {"startLine": start_line}
+    if start_col >= 1:
+        region["startColumn"] = start_col
     return {
         "physicalLocation": {
             "artifactLocation": {"uri": uri},
@@ -102,6 +109,7 @@ def render_sarif(result: CheckResult, tools: Sequence[ToolReport] = ()) -> str:
         }
         for info in sorted(CODES.values(), key=lambda i: i.code)
     ]
+    rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
     results: List[Dict[str, Any]] = []
     for d in result.diagnostics:
         message = d.message
@@ -109,6 +117,7 @@ def render_sarif(result: CheckResult, tools: Sequence[ToolReport] = ()) -> str:
             message += f" — witness: {d.witness}"
         entry: Dict[str, Any] = {
             "ruleId": d.code,
+            "ruleIndex": rule_index[d.code],
             "level": _SARIF_LEVELS.get(d.severity, "error"),
             "message": {"text": f"[{d.subject}] {message}"},
         }

@@ -1,0 +1,128 @@
+"""Inline suppression comments: ``# repro: ignore[RC401]``.
+
+A finding that is *intentional* should be silenced on the flagged line,
+where the next reader sees it — not with a global ``--ignore RC401``
+prefix that silences the whole rule everywhere.  The comment form is::
+
+    obj._hash = h  # repro: ignore[RC401]
+    t0 = time.perf_counter()  # repro: ignore[RC503, RC405]
+
+Several codes may be listed, comma-separated.  A suppression only masks
+diagnostics *on its own line*; it never widens to the statement's other
+lines.  Listing a code that does not exist in the registry is itself a
+finding (``RC407``) — otherwise a typo like ``RC41`` would silently
+suppress nothing while looking like it worked.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .diagnostics import CODES, Diagnostic
+
+#: the suppression comment grammar (the bracket payload is validated
+#: separately so malformed codes can be reported rather than ignored)
+SUPPRESS_RE = re.compile(r"#\s*repro:\s*ignore\[([^\]]*)\]")
+
+
+def _parse_payload(payload: str) -> List[str]:
+    return [part.strip() for part in payload.split(",") if part.strip()]
+
+
+def _iter_comment_matches(source: str) -> Iterator[Tuple[int, int, "re.Match[str]"]]:
+    """Yield ``(lineno, col, match)`` for suppression comments.
+
+    Tokenizing (rather than regex over raw lines) keeps the grammar out
+    of string literals and docstrings — only real comments suppress.
+    """
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        for match in SUPPRESS_RE.finditer(tok.string):
+            yield tok.start[0], tok.start[1] + match.start(), match
+
+
+def find_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map 1-based line numbers to the set of codes suppressed there.
+
+    Only codes present in the registry are returned; unknown codes are
+    reported by :func:`unknown_suppression_diagnostics` instead of being
+    silently honoured.
+    """
+    out: Dict[int, Set[str]] = {}
+    for lineno, _col, match in _iter_comment_matches(source):
+        codes = {c for c in _parse_payload(match.group(1)) if c in CODES}
+        if codes:
+            out.setdefault(lineno, set()).update(codes)
+    return out
+
+
+def unknown_suppression_diagnostics(
+    source: str, relpath: str, filename: Optional[str] = None
+) -> List[Diagnostic]:
+    """RC407 findings for suppression comments naming unknown codes."""
+    out: List[Diagnostic] = []
+    for lineno, col, match in _iter_comment_matches(source):
+        codes = _parse_payload(match.group(1))
+        unknown = [c for c in codes if c not in CODES]
+        if not codes:
+            unknown = ["<empty>"]
+        for code in unknown:
+            out.append(
+                Diagnostic(
+                    code="RC407",
+                    message=(
+                        f"suppression names unknown diagnostic code "
+                        f"{code!r}; it suppresses nothing"
+                    ),
+                    subject=relpath,
+                    witness=match.group(0),
+                    location=f"{filename or relpath}:{lineno}:{col + 1}",
+                )
+            )
+    return out
+
+
+def _location_line(location: Optional[str]) -> Optional[int]:
+    if location is None:
+        return None
+    parts = location.rsplit(":", 2)
+    if len(parts) != 3:
+        return None
+    try:
+        return int(parts[1])
+    except ValueError:
+        return None
+
+
+def apply_suppressions(
+    diagnostics: Iterable[Diagnostic], suppressions: Dict[int, Set[str]]
+) -> Tuple[List[Diagnostic], int]:
+    """Drop diagnostics whose location line suppresses their code.
+
+    Returns ``(kept, n_suppressed)``.
+    """
+    kept: List[Diagnostic] = []
+    dropped = 0
+    for d in diagnostics:
+        line = _location_line(d.location)
+        if line is not None and d.code in suppressions.get(line, set()):
+            dropped += 1
+            continue
+        kept.append(d)
+    return kept, dropped
+
+
+__all__ = [
+    "SUPPRESS_RE",
+    "apply_suppressions",
+    "find_suppressions",
+    "unknown_suppression_diagnostics",
+]

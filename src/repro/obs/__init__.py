@@ -55,6 +55,7 @@ from .recorder import (
     merge_gauge_maps,
     merge_worker_snapshot,
     reset_recorder,
+    set_gauge_policy,
     set_memory_profiling,
     set_tracing,
     span,
@@ -122,6 +123,7 @@ __all__ = [
     "regressions",
     "reset_recorder",
     "resolve_store_path",
+    "set_gauge_policy",
     "set_memory_profiling",
     "set_tracing",
     "span",

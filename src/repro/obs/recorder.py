@@ -498,6 +498,16 @@ def gauge_set(name: str, value: float) -> None:
         _recorder.set_gauge(name, value)
 
 
+def set_gauge_policy(name: str, policy: str) -> None:
+    """Declare how ``name`` merges across worker snapshots.
+
+    Unlike :func:`gauge_set`, the declaration applies even while tracing
+    is disabled — a merge policy is configuration, not a recording, and
+    must be in place before any worker snapshot is merged.
+    """
+    _recorder.set_gauge_policy(name, policy)
+
+
 class WorkerCapture:
     """Box carrying a worker's snapshot out of :func:`capture_worker`."""
 

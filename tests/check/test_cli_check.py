@@ -117,3 +117,104 @@ def test_self_rejects_targets():
 def test_self_rejects_deep():
     with pytest.raises(SystemExit):
         main(["check", "--self", "--deep"])
+
+
+# -- effects mode -----------------------------------------------------------
+
+
+def test_effects_clean_against_committed_baseline(capsys):
+    assert main(["check", "--effects"]) == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_effects_combines_with_self(capsys):
+    assert main(["check", "--effects", "--self", "--no-tools"]) == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_effects_empty_baseline_reports_rc50x(tmp_path, capsys):
+    # with no declarations, the intentional clock/interning effects of
+    # the live tree surface as findings — proving the gate has teeth
+    empty = tmp_path / "empty.json"
+    empty.write_text(
+        json.dumps({"schema": "repro-effects-baseline/1", "declared": {}})
+    )
+    assert main(["check", "--effects", "--baseline", str(empty)]) == 1
+    out = capsys.readouterr().out
+    assert "RC503" in out and "RC505" in out
+
+
+def test_effects_select_filters_codes(tmp_path, capsys):
+    empty = tmp_path / "empty.json"
+    empty.write_text(
+        json.dumps({"schema": "repro-effects-baseline/1", "declared": {}})
+    )
+    assert (
+        main(
+            [
+                "check",
+                "--effects",
+                "--baseline",
+                str(empty),
+                "--select",
+                "RC503",
+            ]
+        )
+        == 1
+    )
+    out = capsys.readouterr().out
+    assert "RC503" in out and "RC505" not in out
+
+
+def test_effects_sarif_output(capsys):
+    assert main(["check", "--effects", "--format", "sarif"]) == 0
+    sarif = json.loads(capsys.readouterr().out)
+    rule_ids = {r["id"] for r in sarif["runs"][0]["tool"]["driver"]["rules"]}
+    assert {"RC501", "RC511"} <= rule_ids
+
+
+def test_effects_missing_baseline_is_usage_error(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["check", "--effects", "--baseline", str(tmp_path / "absent.json")])
+
+
+def test_effects_rejects_targets():
+    with pytest.raises(SystemExit):
+        main(["check", "identity", "--effects"])
+
+
+def test_baseline_flag_requires_effects(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["check", "--baseline", str(tmp_path / "b.json")])
+
+
+def test_write_baseline_requires_effects():
+    with pytest.raises(SystemExit):
+        main(["check", "--write-baseline"])
+
+
+def test_write_baseline_roundtrip(tmp_path, capsys):
+    dest = tmp_path / "baseline.json"
+    assert main(["check", "--effects", "--write-baseline", "--baseline", str(dest)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    payload = json.loads(dest.read_text())
+    assert payload["schema"] == "repro-effects-baseline/1"
+    # the regenerated baseline judges the live tree clean
+    assert main(["check", "--effects", "--baseline", str(dest)]) == 0
+    capsys.readouterr()
+
+
+def test_effects_run_records_diag_counters(tmp_path, capsys):
+    store = tmp_path / "telemetry.jsonl"
+    assert main(["check", "--effects", "--store", str(store)]) == 0
+    capsys.readouterr()
+    records = [
+        json.loads(line)
+        for line in store.read_text().splitlines()
+        if line.strip()
+    ]
+    assert len(records) == 1
+    assert records[0]["command"] == "check"
+    counters = records[0]["counters"]
+    assert counters.get("check.errors") == 0
+    assert counters.get("check.warnings") == 0

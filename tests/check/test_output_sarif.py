@@ -1,0 +1,120 @@
+"""SARIF 2.1.0 output shape (`repro.check.output.render_sarif`)."""
+
+import json
+
+from repro.check.diagnostics import CODES, Diagnostic
+from repro.check.output import render_sarif
+from repro.check.passes import CheckResult
+
+
+def _sarif_run(diagnostics):
+    result = CheckResult(diagnostics=diagnostics, subjects=["s"], passes_run=1)
+    log = json.loads(render_sarif(result))
+    assert log["version"] == "2.1.0"
+    assert len(log["runs"]) == 1
+    return log["runs"][0]
+
+
+def _sample():
+    return [
+        Diagnostic(
+            code="RC101",
+            message="bad coloring",
+            subject="task-a",
+            witness="{P0, P0}",
+        ),
+        Diagnostic(
+            code="RC401",
+            message="interned write",
+            subject="analysis/census.py",
+            location="src/repro/analysis/census.py:10:5",
+        ),
+        Diagnostic(
+            code="RC503",
+            message="clock under cache",
+            subject="decide",
+            location="src/repro/solvability/decision.py:185:10",
+        ),
+        Diagnostic(
+            code="RC509",
+            message="stale entry",
+            subject="decide",
+            severity="warning",
+        ),
+    ]
+
+
+def test_one_rules_entry_per_emitted_code():
+    run = _sarif_run(_sample())
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert len(rule_ids) == len(set(rule_ids)), "duplicate rule ids"
+    emitted = {r["ruleId"] for r in run["results"]}
+    assert emitted <= set(rule_ids)
+
+
+def test_rule_index_points_at_the_matching_rule():
+    run = _sarif_run(_sample())
+    rules = run["tool"]["driver"]["rules"]
+    for result in run["results"]:
+        idx = result["ruleIndex"]
+        assert rules[idx]["id"] == result["ruleId"]
+
+
+def test_rules_carry_registry_metadata():
+    run = _sarif_run(_sample())
+    by_id = {r["id"]: r for r in run["tool"]["driver"]["rules"]}
+    for code, info in CODES.items():
+        assert by_id[code]["name"] == info.slug
+        assert by_id[code]["fullDescription"]["text"] == info.summary
+
+
+def test_severity_maps_to_sarif_level():
+    run = _sarif_run(_sample())
+    levels = {r["ruleId"]: r["level"] for r in run["results"]}
+    assert levels["RC101"] == "error"
+    assert levels["RC509"] == "warning"
+
+
+def test_location_regions_are_one_based():
+    run = _sarif_run(_sample())
+    located = [r for r in run["results"] if "locations" in r]
+    assert len(located) == 2
+    for result in located:
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1
+        assert region.get("startColumn", 1) >= 1
+
+
+def test_zero_line_location_is_omitted_not_invalid():
+    diag = Diagnostic(
+        code="RC401",
+        message="m",
+        subject="s",
+        location="src/repro/x.py:0:1",
+    )
+    run = _sarif_run([diag])
+    assert "locations" not in run["results"][0]
+
+
+def test_missing_location_is_omitted():
+    diag = Diagnostic(code="RC101", message="m", subject="s")
+    run = _sarif_run([diag])
+    assert "locations" not in run["results"][0]
+
+
+def test_malformed_location_is_omitted():
+    diag = Diagnostic(code="RC401", message="m", subject="s", location="nonsense")
+    run = _sarif_run([diag])
+    assert "locations" not in run["results"][0]
+
+
+def test_zero_column_keeps_line_but_drops_column():
+    diag = Diagnostic(
+        code="RC401",
+        message="m",
+        subject="s",
+        location="src/repro/x.py:7:0",
+    )
+    run = _sarif_run([diag])
+    region = run["results"][0]["locations"][0]["physicalLocation"]["region"]
+    assert region == {"startLine": 7}
