@@ -1,0 +1,119 @@
+"""Corpus throughput: serial vs sharded streaming census.
+
+The streaming corpus (:mod:`repro.analysis.corpus`) exists to make
+Section 7-scale populations cheap: isomorphism dedup decides one task per
+renaming class and sharding spreads the classes over a pool.  This bench
+measures what that buys — tasks/second for the same seed range run as a
+single serial shard vs a sharded pooled run, with aggregate parity
+asserted between every contender (scheduling must stay invisible).
+
+Results land in ``benchmarks/BENCH_census.json`` (schema ``repro-perf/1``)
+so the corpus throughput trajectory is diffable across PRs; each sharded
+measurement carries a ``time_vs_serial`` counter the CI perf-smoke job can
+gate on.  Smoke runs shrink the population and write to a scratch file:
+
+    pytest benchmarks/bench_corpus.py -m perf --benchmark-smoke
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+import pytest
+
+from repro.analysis import run_census
+from repro.analysis.corpus import CorpusConfig, run_corpus
+from repro.perf import PerfHarness, validate_report
+from repro.topology import cache_clear, diskstore
+
+pytestmark = pytest.mark.perf
+
+JSON_PATH = os.path.join(os.path.dirname(__file__), "BENCH_census.json")
+
+_HARNESS = PerfHarness("census_corpus")
+
+
+def _corpus_run(config, root, workers):
+    # every repeat is a fresh corpus from cold caches: remove the previous
+    # repeat's shards (resume would otherwise no-op the measurement) and
+    # the verdict store warmed by it
+    cache_clear()
+    shutil.rmtree(root, ignore_errors=True)
+    return run_corpus(config, root, workers=workers)
+
+
+def test_corpus_serial_vs_sharded(report, smoke, tmp_path):
+    population = 120 if smoke else 400
+    serial_config = CorpusConfig(seed_start=0, seed_stop=population, shards=1)
+    serial_name = f"corpus:{population}:serial"
+
+    with diskstore.store_disabled():
+        serial, m_serial = _HARNESS.measure(
+            serial_name,
+            _corpus_run,
+            serial_config,
+            str(tmp_path / "serial"),
+            None,
+            repeat=3,
+            meta={"population": population, "shards": 1, "workers": 1},
+        )
+    dedup = serial.manifest["dedup"]
+    m_serial.counters["tasks_per_second"] = round(population / m_serial.best, 2)
+    m_serial.counters["dedup_rate"] = round(dedup["rate"], 4)
+
+    # the corpus engine must agree with the in-memory census exactly
+    with diskstore.store_disabled():
+        assert serial.census.as_tuple() == run_census(range(population)).as_tuple()
+
+    for shards, workers in ((4, 2), (4, 4)):
+        contender = f"corpus:{population}:shards{shards}-w{workers}"
+        config = CorpusConfig(seed_start=0, seed_stop=population, shards=shards)
+        with diskstore.store_disabled():
+            sharded, m_sharded = _HARNESS.measure(
+                contender,
+                _corpus_run,
+                config,
+                str(tmp_path / contender),
+                workers,
+                repeat=3,
+                meta={"population": population, "shards": shards, "workers": workers},
+            )
+        assert sharded.census.as_tuple() == serial.census.as_tuple()
+
+        m_sharded.counters["tasks_per_second"] = round(
+            population / m_sharded.best, 2
+        )
+        m_sharded.counters["dedup_rate"] = round(
+            sharded.manifest["dedup"]["rate"], 4
+        )
+        m_sharded.counters["time_vs_serial"] = round(
+            m_sharded.best / m_serial.best, 4
+        )
+        report.row(
+            workload=f"corpus:{population}",
+            serial_s=round(m_serial.best, 4),
+            sharded_s=round(m_sharded.best, 4),
+            shards=shards,
+            workers=workers,
+            speedup=f"{_HARNESS.speedup(serial_name, contender):.2f}x",
+            dedup_rate=f"{dedup['rate']:.1%}",
+        )
+
+
+def test_emit_json_report(report, smoke, tmp_path):
+    """Write + validate ``BENCH_census.json`` (runs after the workloads)."""
+    assert _HARNESS.measurements, "corpus benches must run before emission"
+    env_path = os.environ.get("REPRO_BENCH_JSON")
+    if env_path:
+        path = env_path
+    else:
+        path = str(tmp_path / "BENCH_census.smoke.json") if smoke else JSON_PATH
+    payload = _HARNESS.write(path)
+    assert validate_report(payload) == []
+    report.row(
+        workload="emit",
+        results=len(payload["results"]),
+        json=os.path.basename(path),
+        smoke=smoke,
+    )

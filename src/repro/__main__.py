@@ -70,6 +70,7 @@ from .analysis import (
     run_census,
     sparse_census,
 )
+from .analysis import corpus as corpus_mod
 from .check.cli import add_check_parser
 from .check.preflight import PreflightError, preflight_check
 from .io import load_task, save_task, task_to_json
@@ -424,6 +425,14 @@ def cmd_census(args) -> int:
             f"--workers must be at least 1 (got {args.workers}); omit the flag "
             "to use one process per CPU"
         )
+    if args.verify is not None:
+        return _cmd_census_verify(args)
+    if args.corpus is not None:
+        return _cmd_census_corpus(args)
+    if args.resume:
+        raise SystemExit("--resume only makes sense with --corpus DIR")
+    if args.shards != 1:
+        raise SystemExit("--shards only makes sense with --corpus DIR")
     with _tracing_to(args, f"census --seeds {args.seeds}"):
         if args.workers is not None and args.workers != 1:
             runner = parallel_sparse_census if args.sparse else parallel_census
@@ -436,6 +445,11 @@ def cmd_census(args) -> int:
         else:
             runner = sparse_census if args.sparse else run_census
             census = runner(range(args.seeds), max_rounds=args.max_rounds)
+    _print_census(census)
+    return 0
+
+
+def _print_census(census) -> None:
     print(f"population: {census.population}")
     print(f"solvable:   {census.solvable}")
     print(f"unsolvable: {census.unsolvable}")
@@ -443,6 +457,62 @@ def cmd_census(args) -> int:
     print("certificates:")
     for kind, count in sorted(census.certificates.items()):
         print(f"  {kind:<16} {count}")
+
+
+def _cmd_census_corpus(args) -> int:
+    """Streaming corpus mode: sharded, resumable, manifest-packaged."""
+    config = corpus_mod.CorpusConfig(
+        seed_start=0,
+        seed_stop=args.seeds,
+        shards=args.shards,
+        generator="sparse" if args.sparse else "single",
+        max_rounds=args.max_rounds,
+    )
+    try:
+        config.validate()
+    except corpus_mod.CorpusError as exc:
+        raise SystemExit(str(exc))
+    with _tracing_to(args, f"census --corpus {args.corpus} --seeds {args.seeds}"):
+        try:
+            result = corpus_mod.run_corpus(
+                config, args.corpus, workers=args.workers, resume=args.resume
+            )
+        except corpus_mod.CorpusError as exc:
+            raise SystemExit(str(exc))
+    _print_census(result.census)
+    dedup = result.manifest["dedup"]
+    throughput = result.manifest["throughput"]
+    print(
+        f"dedup:      {dedup['dedup_hits']}/{dedup['population']} "
+        f"({dedup['rate']:.1%}), {dedup['distinct_hashes']} isomorphism classes"
+    )
+    print(
+        f"throughput: {throughput['tasks_per_second']:.1f} tasks/s "
+        f"over {result.config.shards} shard(s)"
+    )
+    print(f"manifest:   {result.manifest_path}")
+    return 0
+
+
+def _cmd_census_verify(args) -> int:
+    """Replay a committed corpus manifest and report verdict drift."""
+    try:
+        payload = corpus_mod.load_manifest(args.verify)
+    except (OSError, ValueError, corpus_mod.CorpusError) as exc:
+        raise SystemExit(f"cannot load manifest {args.verify}: {exc}")
+    with _tracing_to(args, f"census --verify {args.verify}"):
+        drift = corpus_mod.verify_manifest(payload)
+    if drift:
+        print(f"DRIFT: {len(drift)} of {payload['population']} rows diverge:")
+        for line in drift[:10]:
+            print(f"  {line}")
+        if len(drift) > 10:
+            print(f"  ... and {len(drift) - 10} more")
+        return 1
+    print(
+        f"manifest verified: {payload['population']} verdicts "
+        f"({payload['dedup']['distinct_hashes']} isomorphism classes), no drift"
+    )
     return 0
 
 
@@ -739,6 +809,34 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="seeds per work item, at least 1 (default: adaptive — derived "
         "from the population size and worker count)",
+    )
+    p.add_argument(
+        "--corpus",
+        metavar="DIR",
+        default=None,
+        help="streaming corpus mode: shard the seed range into resumable "
+        "JSONL checkpoints under DIR and package a repro-corpus/1 manifest "
+        "(docs/census_corpus.md)",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="number of corpus shards (contiguous seed sub-ranges; "
+        "requires --corpus)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted corpus run from each shard's last "
+        "committed seed (requires --corpus)",
+    )
+    p.add_argument(
+        "--verify",
+        metavar="MANIFEST",
+        default=None,
+        help="replay a committed corpus manifest seed-by-seed and fail on "
+        "any verdict drift (exclusive with --corpus)",
     )
     _add_observability_args(p)
     p.set_defaults(fn=cmd_census)

@@ -1,16 +1,32 @@
 """Analysis layer: per-task reports and population census (serial + parallel)."""
 
 from .census import Census, run_census, sparse_census
+from .corpus import (
+    CorpusConfig,
+    CorpusError,
+    CorpusResult,
+    load_manifest,
+    run_corpus,
+    validate_manifest,
+    verify_manifest,
+)
 from .parallel import default_workers, parallel_census, parallel_sparse_census
 from .report import TaskReport, analyze_task
 
 __all__ = [
     "Census",
+    "CorpusConfig",
+    "CorpusError",
+    "CorpusResult",
     "TaskReport",
     "analyze_task",
     "default_workers",
+    "load_manifest",
     "parallel_census",
     "parallel_sparse_census",
     "run_census",
+    "run_corpus",
     "sparse_census",
+    "validate_manifest",
+    "verify_manifest",
 ]

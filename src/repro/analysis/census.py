@@ -105,6 +105,13 @@ def _decide_with_store(task: Task, max_rounds: int) -> SolvabilityVerdict:
     the deepening budget, so repeated populations — successive CLI runs,
     benchmark repeats, pool workers after a warm-up pass — load it from
     :mod:`repro.topology.diskstore` instead of re-deciding.
+
+    A cache hit returns before any ``decide`` span or search counter is
+    recorded, so warm-store traces would otherwise look implausibly fast
+    with no explanation; the explicit ``census.verdict_cache.hit`` /
+    ``.miss`` counters name the shortcut (and, being seed-deterministic,
+    must agree between serial and pooled runs over the same store state —
+    pinned by ``tests/test_parallel_census.py``).
     """
     cache_key = None
     if diskstore.store_enabled():
@@ -113,7 +120,9 @@ def _decide_with_store(task: Task, max_rounds: int) -> SolvabilityVerdict:
         )
         cached = diskstore.load("verdict", cache_key)
         if isinstance(cached, SolvabilityVerdict):
+            counter_add("census.verdict_cache.hit")
             return cached
+        counter_add("census.verdict_cache.miss")
     verdict = decide_solvability(task, max_rounds=max_rounds)
     if cache_key is not None:
         diskstore.store("verdict", cache_key, verdict)

@@ -14,8 +14,10 @@ convert a protocol for ``T*`` back into one for ``T`` (and vice versa).
 
 from __future__ import annotations
 
+import itertools
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
 from ..topology.carrier import CarrierMap
 from ..topology.chromatic import ChromaticComplex
@@ -179,6 +181,157 @@ def is_canonical(task: Task) -> bool:
             if shared:
                 return False
     return True
+
+
+# ---------------------------------------------------------------------------
+# Canonical text up to output-value renaming (isomorphism dedup)
+# ---------------------------------------------------------------------------
+#
+# Two generated tasks that differ only by a per-color bijection of output
+# values are the same task for every question the census asks (solvability
+# is invariant under chromatic isomorphism of the output complex and Δ).
+# ``iso_canonical_text`` computes a renaming-invariant canonical description:
+# equal texts <=> the tasks are related by such a renaming.  The corpus
+# pipeline hashes this text (via ``diskstore.content_hash``) to skip
+# isomorphic duplicates before deciding them.
+
+#: renaming assignments explored before falling back to the exact text
+ISO_SEARCH_CAP = 20_000
+
+
+def task_text(task: Task) -> str:
+    """Exact canonical text of a task (same content as ``diskstore.task_key``).
+
+    Facets are in canonical sorted order and vertex reprs deterministic, so
+    equal tasks produce equal texts in every process.
+    """
+    parts = [
+        "in:" + "\n".join(repr(f) for f in task.input_complex.facets),
+        "out:" + "\n".join(repr(f) for f in task.output_complex.facets),
+    ]
+    for s, image in sorted(task.delta.items(), key=lambda kv: kv[0].sort_key()):
+        parts.append(f"{s!r}=>" + ";".join(repr(f) for f in image.facets))
+    return "\n".join(parts)
+
+
+def _facet_tuples(complex_: SimplicialComplex) -> List[Tuple[Tuple[int, Hashable], ...]]:
+    """Facets as sorted ``(color, value)`` tuples (renaming-friendly form)."""
+    out = []
+    for f in complex_.facets:
+        out.append(
+            tuple(sorted(((v.color, v.value) for v in f.vertices), key=repr))
+        )
+    return out
+
+
+def _refined_value_signatures(
+    facets: List[Tuple[Tuple[int, Hashable], ...]]
+) -> Dict[Tuple[int, Hashable], int]:
+    """Renaming-invariant signature per ``(color, value)`` output vertex.
+
+    Weisfeiler–Leman-style refinement over the facet hypergraph: a vertex's
+    signature folds in the multiset of its facets' other-vertex signatures
+    until the partition stabilizes.  Signatures depend only on structure —
+    never on the values themselves — so any per-color value bijection maps
+    equal-signature values to equal-signature values.
+    """
+    vertices = sorted({cv for f in facets for cv in f}, key=repr)
+    incident: Dict[Tuple[int, Hashable], List[Tuple[Tuple[int, Hashable], ...]]] = {
+        cv: [f for f in facets if cv in f] for cv in vertices
+    }
+    sig = {cv: 0 for cv in vertices}
+    for _ in range(len(vertices)):
+        raw = {
+            cv: (
+                sig[cv],
+                tuple(
+                    sorted(
+                        tuple(sorted((oc, sig[(oc, ov)]) for oc, ov in f if (oc, ov) != cv))
+                        for f in incident[cv]
+                    )
+                ),
+            )
+            for cv in vertices
+        }
+        ranks = {key: i for i, key in enumerate(sorted(set(raw.values()), key=repr))}
+        new_sig = {cv: ranks[raw[cv]] for cv in vertices}
+        if new_sig == sig:
+            break
+        sig = new_sig
+    return sig
+
+
+def iso_canonical_text(task: Task, cap: int = ISO_SEARCH_CAP) -> str:
+    """A canonical description of ``task`` up to per-color output-value renaming.
+
+    Output values of each color are relabeled ``0..k-1``; among all
+    signature-respecting relabelings the lexicographically smallest full
+    description (input facets, relabeled output facets, relabeled Δ) is
+    returned.  Equal texts exactly characterize isomorphic tasks (same
+    input complex, outputs related by a per-color value bijection).
+
+    Signature refinement prunes the search to bijections between
+    structurally equivalent values; if the residual assignment count still
+    exceeds ``cap`` (adversarially symmetric outputs), the *exact* text is
+    returned instead — dedup degrades to exact-duplicate detection, never
+    to unsound merging.
+    """
+    out_facets = _facet_tuples(task.output_complex)
+    sig = _refined_value_signatures(out_facets)
+
+    # per color: tie groups of values with equal signatures, in signature order
+    by_color: Dict[int, Dict[int, List[Hashable]]] = {}
+    for (color, value), s in sig.items():
+        by_color.setdefault(color, {}).setdefault(s, []).append(value)
+    groups: Dict[int, List[List[Hashable]]] = {
+        color: [sorted(vals, key=repr) for _, vals in sorted(tiers.items())]
+        for color, tiers in sorted(by_color.items())
+    }
+    n_assignments = 1
+    for tiers in groups.values():
+        for tier in tiers:
+            n_assignments *= math.factorial(len(tier))
+    if n_assignments > cap:
+        return "exact:" + task_text(task)
+
+    delta_rows = [
+        (repr(s), _facet_tuples(image))
+        for s, image in sorted(task.delta.items(), key=lambda kv: kv[0].sort_key())
+    ]
+    input_text = ";".join(repr(f) for f in task.input_complex.facets)
+
+    def render(mapping: Dict[Tuple[int, Hashable], int]) -> str:
+        def relabel(facets: List[Tuple[Tuple[int, Hashable], ...]]) -> str:
+            rows = sorted(
+                tuple(sorted((c, mapping[(c, v)]) for c, v in f)) for f in facets
+            )
+            return ";".join(repr(r) for r in rows)
+
+        body = [f"in:{input_text}", "out:" + relabel(out_facets)]
+        body.extend(f"{key}=>" + relabel(img) for key, img in delta_rows)
+        return "\n".join(body)
+
+    best: Optional[str] = None
+    per_color_orders = [
+        [
+            list(itertools.chain.from_iterable(combo))
+            for combo in itertools.product(
+                *(itertools.permutations(tier) for tier in tiers)
+            )
+        ]
+        for _, tiers in sorted(groups.items())
+    ]
+    colors = sorted(groups)
+    for orders in itertools.product(*per_color_orders):
+        mapping = {
+            (color, value): i
+            for color, order in zip(colors, orders)
+            for i, value in enumerate(order)
+        }
+        text = render(mapping)
+        if best is None or text < best:
+            best = text
+    return "iso:" + (best if best is not None else f"in:{input_text}\nout:")
 
 
 def canonicalize_if_needed(task: Task) -> CanonicalForm:

@@ -28,15 +28,34 @@ def _faces_with_ids(complex_: SimplicialComplex, ids: frozenset) -> SimplicialCo
     return SimplicialComplex(picked)
 
 
+#: facets requested by default when the value range allows it
+DEFAULT_N_FACETS = 6
+
+
 def random_output_complex(
-    rng: random.Random, n_values: int = 3, n_facets: int = 6
+    rng: random.Random, n_values: int = 3, n_facets: Optional[int] = None
 ) -> ChromaticComplex:
     """A random pure 2-dimensional chromatic complex.
 
     Facets are triples ``{(0,a),(1,b),(2,c)}`` with values sampled from
     ``range(n_values)``; duplicates collapse, so the result may have fewer
-    facets than requested.
+    facets than requested.  Only ``n_values ** 3`` distinct facets exist,
+    so requests beyond that bound are rejected (the sampling loop could
+    never satisfy them); the default request is capped to the bound.
     """
+    if n_values < 1:
+        raise ValueError(f"n_values must be at least 1, got {n_values}")
+    distinct = n_values**3
+    if n_facets is None:
+        n_facets = min(DEFAULT_N_FACETS, distinct)
+    if n_facets < 1:
+        raise ValueError(f"n_facets must be at least 1, got {n_facets}")
+    if n_facets > distinct:
+        raise ValueError(
+            f"n_facets={n_facets} is unsatisfiable: only {distinct} distinct "
+            f"facets exist over n_values={n_values} (the sampling loop would "
+            "never terminate)"
+        )
     facets = set()
     while len(facets) < n_facets:
         combo = tuple(rng.randrange(n_values) for _ in range(3))
@@ -44,8 +63,19 @@ def random_output_complex(
     return ChromaticComplex(facets, name="O_random")
 
 
+def _sorted_facets(complex_: SimplicialComplex) -> List[Simplex]:
+    """Facets in canonical sort order, as a list ``rng.sample`` accepts.
+
+    Every ``rng.sample``/``rng.choice``/``rng.shuffle`` over facets must
+    draw from this order: sampling a set-derived sequence would make the
+    generated task depend on hash/iteration order rather than only on the
+    seed (and so differ across processes and ``PYTHONHASHSEED`` values).
+    """
+    return sorted(complex_.facets, key=Simplex.sort_key)
+
+
 def random_single_input_task(
-    seed: int, n_values: int = 3, n_facets: int = 6, image_size: int = 3
+    seed: int, n_values: int = 3, n_facets: Optional[int] = None, image_size: int = 3
 ) -> Task:
     """A random three-process task with a single input facet.
 
@@ -57,7 +87,8 @@ def random_single_input_task(
     inputs = single_facet_input(3, values=("x0", "x1", "x2"), name="I_random")
     for _ in range(200):
         outputs = random_output_complex(rng, n_values=n_values, n_facets=n_facets)
-        chosen = rng.sample(list(outputs.facets), min(image_size, len(outputs.facets)))
+        pool = _sorted_facets(outputs)
+        chosen = rng.sample(pool, min(image_size, len(pool)))
         image = SimplicialComplex(chosen)
         outputs = ChromaticComplex(image.facets, name="O_random")
         images: Dict[Simplex, SimplicialComplex] = {}
@@ -92,12 +123,11 @@ def random_multi_facet_task(
         outputs = random_output_complex(rng, n_values=3, n_facets=6)
         # a shared anchor facet keeps the images of neighboring input
         # facets compatible on their common faces (monotone + strict)
-        anchor = rng.choice(list(outputs.facets))
+        pool = _sorted_facets(outputs)
+        anchor = rng.choice(pool)
         facet_images: Dict[Simplex, List[Simplex]] = {}
         for sigma in inputs.facets:
-            extra = rng.sample(
-                list(outputs.facets), min(image_size - 1, len(outputs.facets))
-            )
+            extra = rng.sample(pool, min(image_size - 1, len(pool)))
             facet_images[sigma] = [anchor] + extra
         images: Dict[Simplex, SimplicialComplex] = {}
         for tau in inputs.simplices():
@@ -120,7 +150,7 @@ def random_multi_facet_task(
 
 
 def random_sparse_task(
-    seed: int, n_values: int = 3, n_facets: int = 7, drop_edges: int = 2
+    seed: int, n_values: int = 3, n_facets: Optional[int] = None, drop_edges: int = 2
 ) -> Task:
     """A random task whose lower-dimensional images are thinned.
 
@@ -129,6 +159,8 @@ def random_sparse_task(
     re-closing vertices by intersection), producing tasks with less
     regular Δ — a richer source of LAPs for the splitting pipeline.
     """
+    if n_facets is None:
+        n_facets = min(7, n_values**3)
     rng = random.Random(seed ^ 0x5EED)
     for attempt in range(200):
         base = random_single_input_task(
@@ -139,7 +171,7 @@ def random_sparse_task(
             tau: base.delta(tau) for tau in inputs.simplices()
         }
         for tau in inputs.simplices(dim=1):
-            img_facets: List[Simplex] = list(images[tau].facets)
+            img_facets: List[Simplex] = _sorted_facets(images[tau])
             rng.shuffle(img_facets)
             keep = img_facets[: max(1, len(img_facets) - drop_edges)]
             images[tau] = SimplicialComplex(keep)

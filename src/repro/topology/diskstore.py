@@ -30,6 +30,7 @@ baselines) the disk layer is bypassed too.
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import pickle
 import tempfile
@@ -225,6 +226,30 @@ def store(namespace: str, key: str, obj: Any, root: Optional[str] = None) -> Opt
     return path
 
 
+def write_json_atomic(path: str, payload: Any) -> str:
+    """Write a JSON document atomically (temp file + ``os.replace``).
+
+    Unlike :func:`store`, failures propagate: callers (corpus manifests,
+    run configs) treat these files as records of record, not as cache
+    entries that may silently vanish.
+    """
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except Exception:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
 __all__ = [
     "DEFAULT_DIR",
     "ENV_VAR",
@@ -238,4 +263,5 @@ __all__ = [
     "store_disabled",
     "store_enabled",
     "task_key",
+    "write_json_atomic",
 ]

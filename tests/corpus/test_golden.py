@@ -1,0 +1,72 @@
+"""Committed golden corpora gate generator/hash/decision drift.
+
+The manifests under ``golden/`` were produced by real corpus runs and are
+committed as verdicts of record.  Any behavioral change to the random
+generators, the isomorphism-canonical hashing, or the decision procedure
+shows up here as drift — which is either a regression (fix the code) or
+an intended change (regenerate the goldens, see docs/census_corpus.md).
+
+The quick tests replay a prefix of each corpus; the full replays are
+``slow``-marked (CI's corpus-smoke job runs them, plus a fresh 500-seed
+sharded run, on every push).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.corpus import (
+    CorpusConfig,
+    census_from_manifest,
+    load_manifest,
+    validate_manifest,
+    verify_manifest,
+)
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+GOLDEN = {
+    "single-500": os.path.join(GOLDEN_DIR, "manifest-single-500.json"),
+    "sparse-300": os.path.join(GOLDEN_DIR, "manifest-sparse-300.json"),
+}
+
+
+@pytest.fixture(params=sorted(GOLDEN), ids=sorted(GOLDEN))
+def golden(request):
+    return load_manifest(GOLDEN[request.param])
+
+
+def test_goldens_validate(golden):
+    assert validate_manifest(golden) == []
+
+
+def test_goldens_have_real_dedup(golden):
+    # the whole point of the corpus: far fewer decisions than seeds
+    dedup = golden["dedup"]
+    assert dedup["rate"] > 0.5
+    assert dedup["distinct_hashes"] < dedup["population"] / 4
+
+
+def test_sparse_golden_exercises_unsolvable_certificates():
+    payload = load_manifest(GOLDEN["sparse-300"])
+    census = census_from_manifest(payload)
+    assert census.unsolvable > 0
+    assert any(kind != "witness-map" for kind in census.certificates)
+
+
+def test_golden_prefix_replays_without_drift(golden):
+    # a bounded replay keeps the tier-1 suite fast; every drift mode the
+    # full replay can catch (hash, status, certificate, depth, splits) is
+    # equally observable on a prefix
+    assert verify_manifest(golden, limit=60) == []
+
+
+@pytest.mark.slow
+def test_golden_full_replay_single():
+    assert verify_manifest(load_manifest(GOLDEN["single-500"])) == []
+
+
+@pytest.mark.slow
+def test_golden_full_replay_sparse():
+    assert verify_manifest(load_manifest(GOLDEN["sparse-300"])) == []

@@ -1,0 +1,110 @@
+"""``repro-corpus/1`` manifests: schema, round-trip, and drift detection."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.analysis.corpus import (
+    SCHEMA,
+    CorpusConfig,
+    CorpusError,
+    census_from_manifest,
+    load_manifest,
+    run_corpus,
+    validate_manifest,
+    verify_manifest,
+)
+from repro.topology import diskstore
+from repro.topology.diskstore import write_json_atomic
+
+CONFIG = CorpusConfig(seed_start=0, seed_stop=18, shards=2)
+
+
+@pytest.fixture(scope="module")
+def result(tmp_path_factory):
+    # module-scoped, so it runs before the function-scoped autouse store
+    # isolation: pin its own throwaway verdict store explicitly
+    root = tmp_path_factory.mktemp("manifest")
+    with diskstore.store_at(str(root / "towers")):
+        return run_corpus(CONFIG, str(root / "corpus"))
+
+
+class TestRoundTrip:
+    def test_written_manifest_loads_and_validates(self, result):
+        payload = load_manifest(result.manifest_path)
+        assert payload == result.manifest
+        assert validate_manifest(payload) == []
+        assert payload["schema"] == SCHEMA
+
+    def test_census_section_reconstructs_the_census(self, result):
+        rebuilt = census_from_manifest(result.manifest)
+        assert rebuilt.as_tuple() == result.census.as_tuple()
+
+    def test_config_section_reconstructs_the_config(self, result):
+        assert CorpusConfig.from_dict(result.manifest["config"]) == CONFIG
+
+    def test_verdict_rows_cover_the_seed_range_in_order(self, result):
+        seeds = [row[0] for row in result.manifest["verdicts"]]
+        assert seeds == list(range(18))
+
+
+class TestValidation:
+    def test_non_object_rejected(self):
+        assert validate_manifest([1, 2]) == ["manifest must be a JSON object"]
+
+    def test_wrong_schema_flagged(self, result):
+        payload = copy.deepcopy(result.manifest)
+        payload["schema"] = "repro-corpus/0"
+        assert any("schema" in p for p in validate_manifest(payload))
+
+    def test_population_verdict_mismatch_flagged(self, result):
+        payload = copy.deepcopy(result.manifest)
+        payload["verdicts"] = payload["verdicts"][:-1]
+        assert any("verdict rows" in p for p in validate_manifest(payload))
+
+    def test_malformed_verdict_row_flagged(self, result):
+        payload = copy.deepcopy(result.manifest)
+        payload["verdicts"][0] = [0, "hash", "maybe", "witness-map", 1, 0]
+        assert any("verdicts[0]" in p for p in validate_manifest(payload))
+
+    def test_inconsistent_dedup_totals_flagged(self, result):
+        payload = copy.deepcopy(result.manifest)
+        payload["dedup"]["dedup_hits"] += 1
+        assert any("dedup" in p for p in validate_manifest(payload))
+
+    def test_load_manifest_raises_on_invalid(self, result, tmp_path):
+        payload = copy.deepcopy(result.manifest)
+        del payload["census"]
+        path = str(tmp_path / "bad.json")
+        write_json_atomic(path, payload)
+        with pytest.raises(CorpusError, match="missing key 'census'"):
+            load_manifest(path)
+
+
+class TestVerifyReplay:
+    def test_intact_manifest_has_no_drift(self, result):
+        assert verify_manifest(result.manifest) == []
+
+    def test_limit_bounds_the_replay(self, result):
+        assert verify_manifest(result.manifest, limit=5) == []
+
+    def test_tampered_status_is_drift(self, result):
+        payload = copy.deepcopy(result.manifest)
+        row = payload["verdicts"][0]
+        row[2] = "unsolvable" if row[2] == "solvable" else "solvable"
+        drift = verify_manifest(payload, limit=1)
+        assert len(drift) == 1 and "seed 0" in drift[0]
+
+    def test_tampered_hash_is_drift(self, result):
+        payload = copy.deepcopy(result.manifest)
+        payload["verdicts"][3][1] = "0" * 40
+        drift = verify_manifest(payload, limit=4)
+        assert len(drift) == 1 and "canonical hash" in drift[0]
+
+    def test_invalid_manifest_short_circuits_verification(self, result):
+        payload = copy.deepcopy(result.manifest)
+        payload["schema"] = "bogus"
+        drift = verify_manifest(payload)
+        assert drift and all(d.startswith("invalid manifest") for d in drift)

@@ -170,3 +170,68 @@ class TestSolvabilityEquivalence:
 
         star = canonicalize(majority).task
         assert decide_solvability(star, max_rounds=1).solvable is False
+
+
+class TestIsoCanonicalText:
+    """`iso_canonical_text` must equate exactly the renaming-isomorphic tasks."""
+
+    @staticmethod
+    def _renamed(task, color_maps):
+        """The same task with output values renamed per color."""
+        from repro.tasks.task import Task
+        from repro.topology.carrier import CarrierMap
+        from repro.topology.chromatic import ChromaticComplex
+        from repro.topology.complexes import SimplicialComplex
+
+        def rename_vertex(v):
+            return Vertex(v.color, color_maps[v.color].get(v.value, v.value))
+
+        def rename_complex(k, cls=SimplicialComplex):
+            return cls(
+                Simplex(rename_vertex(v) for v in f.vertices) for f in k.facets
+            )
+
+        outputs = rename_complex(task.output_complex, ChromaticComplex)
+        images = {
+            tau: rename_complex(img) for tau, img in task.delta.items()
+        }
+        delta = CarrierMap(task.input_complex, outputs, images, check=False)
+        return Task(task.input_complex, outputs, delta, name=task.name)
+
+    def test_value_renaming_is_invisible(self):
+        from repro.tasks.canonical import iso_canonical_text
+        from repro.tasks.zoo.random_tasks import random_single_input_task
+
+        task = random_single_input_task(3)
+        values = sorted(
+            {v.value for v in task.output_complex.vertices}, key=repr
+        )
+        rolled = {a: b for a, b in zip(values, values[1:] + values[:1])}
+        renamed = self._renamed(task, {0: rolled, 1: rolled, 2: rolled})
+        assert renamed.output_complex != task.output_complex  # really renamed
+        assert iso_canonical_text(renamed) == iso_canonical_text(task)
+
+    def test_distinct_tasks_stay_distinct(self):
+        from repro.tasks.canonical import iso_canonical_text
+        from repro.tasks.zoo.random_tasks import random_single_input_task
+
+        texts = {iso_canonical_text(random_single_input_task(s)) for s in range(12)}
+        assert len(texts) > 1
+
+    def test_cap_falls_back_to_exact_text(self):
+        from repro.tasks.canonical import iso_canonical_text, task_text
+        from repro.tasks.zoo.random_tasks import random_single_input_task
+
+        task = random_single_input_task(3)
+        text = iso_canonical_text(task, cap=0)
+        assert text == "exact:" + task_text(task)
+        # the exact fallback never merges distinct tasks
+        assert text != iso_canonical_text(random_single_input_task(5), cap=0)
+
+    def test_exact_and_iso_domains_never_collide(self):
+        from repro.tasks.canonical import iso_canonical_text
+        from repro.tasks.zoo.random_tasks import random_single_input_task
+
+        task = random_single_input_task(3)
+        assert iso_canonical_text(task).startswith("iso:")
+        assert iso_canonical_text(task, cap=0).startswith("exact:")

@@ -1,5 +1,10 @@
 """Unit tests for the random task generators."""
 
+import os
+import random
+import subprocess
+import sys
+
 import pytest
 
 from repro.tasks.canonical import is_canonical
@@ -50,3 +55,79 @@ class TestRandomTasks:
         # single input facet + per-ids induced images => unique preimages
         for seed in range(5):
             assert is_canonical(random_single_input_task(seed))
+
+
+class TestFacetBoundRegression:
+    """``n_facets`` beyond the ``n_values**3`` distinct-facet bound used to
+    spin ``while len(facets) < n_facets`` forever; it must now fail fast."""
+
+    def test_unsatisfiable_request_raises(self):
+        # previously hung: only 1**3 = 1 distinct facet exists
+        with pytest.raises(ValueError, match=r"n_facets=2.*only 1 distinct"):
+            random_output_complex(random.Random(0), n_values=1, n_facets=2)
+
+    def test_error_names_both_numbers(self):
+        with pytest.raises(ValueError, match=r"n_facets=9.*8 distinct.*n_values=2"):
+            random_output_complex(random.Random(0), n_values=2, n_facets=9)
+
+    def test_exact_bound_is_satisfiable(self):
+        k = random_output_complex(random.Random(0), n_values=2, n_facets=8)
+        assert len(k.facets) == 8
+
+    def test_default_request_is_capped(self):
+        # the default (6) exceeds the bound for n_values=1; it caps instead
+        # of raising, so callers that never chose a count keep working
+        assert len(random_output_complex(random.Random(0), n_values=1).facets) == 1
+
+    def test_task_generators_forward_the_cap(self):
+        task = random_single_input_task(0, n_values=1)
+        task.validate()
+        assert random_sparse_task(0, n_values=1).name == "random-sparse(seed=0)"
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_nonpositive_counts_rejected(self, bad):
+        with pytest.raises(ValueError):
+            random_output_complex(random.Random(0), n_facets=bad)
+        with pytest.raises(ValueError):
+            random_output_complex(random.Random(0), n_values=bad)
+
+
+class TestCrossProcessDeterminism:
+    """Same seed => identical task, independent of hash randomization.
+
+    Facet pools are canonically sorted before every ``rng.sample`` /
+    ``rng.choice`` / ``rng.shuffle``; drawing from a set-derived order
+    would tie the generated task to ``PYTHONHASHSEED``.
+    """
+
+    SCRIPT = (
+        "from repro.tasks.zoo.random_tasks import ("
+        "random_single_input_task, random_multi_facet_task, random_sparse_task);"
+        "t = {gen}({seed});"
+        "print(repr(sorted(t.output_complex.facets, key=repr)));"
+        "print(repr(sorted((repr(k), repr(v)) for k, v in t.delta.items())))"
+    )
+
+    def _spawn_repr(self, gen: str, seed: int, hashseed: str) -> str:
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = hashseed
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ["src", env.get("PYTHONPATH", "")] if p
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", self.SCRIPT.format(gen=gen, seed=seed)],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        return out.stdout
+
+    @pytest.mark.parametrize(
+        "gen",
+        ["random_single_input_task", "random_multi_facet_task", "random_sparse_task"],
+    )
+    def test_identical_under_different_hash_seeds(self, gen):
+        a = self._spawn_repr(gen, 7, "0")
+        b = self._spawn_repr(gen, 7, "424242")
+        assert a == b

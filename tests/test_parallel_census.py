@@ -116,6 +116,62 @@ class TestAdaptiveChunksize:
         assert par.as_tuple() == serial.as_tuple()
 
 
+# -- Verdict-cache observability ----------------------------------------------
+
+
+class TestVerdictCacheCounters:
+    """Warm-store cache hits bypass the decide spans entirely; the explicit
+    ``census.verdict_cache.*`` counters are what keeps traced throughput
+    honest — and they must be scheduling-invariant like every aggregate."""
+
+    @staticmethod
+    def _counters(run, tmp_path, name):
+        from repro import obs
+        from repro.topology import diskstore
+
+        with diskstore.store_at(str(tmp_path / name)):
+            run_census(SEEDS)  # warm the store un-traced
+            obs.reset_recorder()
+            with obs.tracing():
+                run()
+            counters = dict(obs.get_recorder().aggregate_counters())
+        return {k: v for k, v in counters.items() if k.startswith("census.verdict_cache")}
+
+    def test_workers_1_equals_workers_n_on_warm_store(self, tmp_path):
+        serial = self._counters(
+            lambda: parallel_census(SEEDS, workers=1), tmp_path, "serial"
+        )
+        pooled = self._counters(
+            lambda: parallel_census(SEEDS, workers=2, chunksize=3), tmp_path, "pooled"
+        )
+        assert serial == pooled
+        assert serial["census.verdict_cache.hit"] == len(SEEDS)
+        assert "census.verdict_cache.miss" not in serial
+
+    def test_cold_store_counts_misses(self, tmp_path):
+        from repro import obs
+        from repro.topology import diskstore
+
+        with diskstore.store_at(str(tmp_path / "cold")):
+            obs.reset_recorder()
+            with obs.tracing():
+                run_census(range(3))
+            counters = dict(obs.get_recorder().aggregate_counters())
+        assert counters["census.verdict_cache.miss"] == 3
+        assert "census.verdict_cache.hit" not in counters
+
+    def test_disabled_store_emits_neither(self):
+        from repro import obs
+        from repro.topology import diskstore
+
+        with diskstore.store_disabled():
+            obs.reset_recorder()
+            with obs.tracing():
+                run_census(range(2))
+            counters = dict(obs.get_recorder().aggregate_counters())
+        assert not [k for k in counters if k.startswith("census.verdict_cache")]
+
+
 # -- Census aggregation primitives the engine relies on ------------------------
 
 
