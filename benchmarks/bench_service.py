@@ -1,0 +1,100 @@
+"""Service experiment: the verdict server under duplicate-heavy load.
+
+One real run of :func:`repro.service.bench.run_service_bench` — the same
+entry point behind ``repro serve-bench`` — against an in-process
+:class:`~repro.service.server.ServerThread`:
+
+* a zipf-skewed seeded stream over the heavy half of the zoo, replayed
+  twice; the **cold** pass measures end-to-end uncached decides over
+  HTTP, the **steady** pass measures the memo-store regime the server
+  actually runs in (hit rate, p50/p99, throughput);
+* the headline ``speedup:cached_hit/uncached_decide`` derived ratio is
+  p50-over-p50 of the two latency populations.
+
+The emitted ``benchmarks/BENCH_service.json`` is ``repro-perf/1`` like
+every other bench here, so ``repro obs ingest`` / ``obs diff`` track the
+service's latency trajectory across PRs.  The committed report must
+clear the acceptance floors asserted below: >= 10x workload duplication,
+steady hit rate >= 0.9, and a cached hit at least 10x faster than an
+uncached decide.
+
+Smoke runs shrink the stream and write to a scratch file::
+
+    pytest benchmarks/bench_service.py -m perf --benchmark-smoke
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.perf import validate_report
+from repro.service.bench import check_gates, format_summary, run_service_bench
+from repro.service.server import ServerConfig
+
+pytestmark = pytest.mark.perf
+
+JSON_PATH = os.path.join(os.path.dirname(__file__), "BENCH_service.json")
+
+#: (requests, concurrency, pool_size) per mode — full is the committed run
+SIZES = {"full": (240, 4, 6), "smoke": (24, 2, 2)}
+
+_STATE: dict = {}
+
+
+def test_service_load(report, smoke):
+    requests, concurrency, pool_size = SIZES["smoke" if smoke else "full"]
+    bench = run_service_bench(
+        requests=requests,
+        concurrency=concurrency,
+        pool_size=pool_size,
+        seed=0,
+        passes=2,
+        # persistence off: the cold pass must measure real decides, not
+        # hits against a verdict store warmed by an earlier local run
+        server_config=ServerConfig(persist=False),
+    )
+    _STATE["bench"] = bench
+    derived = bench["report"]["derived"]
+
+    assert check_gates(bench, min_hit_rate=0.9) == []
+    assert derived["workload_duplication"] >= 10.0
+    if not smoke:
+        # the smoke stream is too small for a stable ratio; the committed
+        # full-size run must clear the 10x floor
+        assert derived["speedup:cached_hit/uncached_decide"] >= 10.0
+
+    report.row(
+        workload=f"{requests} reqs / {bench['workload']['distinct']} specs",
+        duplication=f"{derived['workload_duplication']:.1f}x",
+        hit_rate=f"{derived['steady_hit_rate']:.3f}",
+        p99_ms=f"{derived['steady_p99_ms']:.2f}",
+        rps=f"{derived['steady_throughput_rps']:.0f}",
+        speedup=f"{derived.get('speedup:cached_hit/uncached_decide', 0):.1f}x",
+    )
+    for line in format_summary(bench).splitlines():
+        print(line)
+
+
+def test_emit_json_report(report, smoke, tmp_path):
+    """Write + validate the JSON report (runs after the load test).
+
+    Smoke runs exercise the emission path into a scratch file so they
+    never clobber the committed full-size ``BENCH_service.json``.
+    """
+    bench = _STATE.get("bench")
+    assert bench is not None, "the load bench must run before emission"
+    env_path = os.environ.get("REPRO_BENCH_JSON")
+    if env_path:
+        path = env_path
+    else:
+        path = str(tmp_path / "BENCH_service.smoke.json") if smoke else JSON_PATH
+    payload = bench["harness"].write(path)
+    assert validate_report(payload) == []
+    report.row(
+        workload="emit",
+        results=len(payload["results"]),
+        json=os.path.basename(path),
+        smoke=smoke,
+    )

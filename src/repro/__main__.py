@@ -23,7 +23,16 @@ Commands
     witnesses), or lint the library sources themselves (``--self``).
 ``decide``
     Run just the solvability decision on one task and print the verdict
-    with its certificate (obstruction kind or witness depth).
+    with its certificate (obstruction kind or witness depth); ``--json``
+    writes the same ``repro-verdict/1`` document the service serves.
+``serve``
+    Run the solvability verdict server: an asyncio HTTP frontend over a
+    content-addressed verdict cache and a batched worker pool
+    (``POST /v1/solve``; see ``docs/service.md``).
+``serve-bench``
+    Replay zipf-skewed duplicate-heavy load against the server (an
+    in-process one by default, ``--url`` for an external one) and emit
+    a ``repro-perf/1`` report with hit-rate/p50/p99 numbers.
 ``trace``
     Work with ``repro-trace/1`` JSON exports produced by ``--trace``:
     ``trace summary`` pretty-prints the span tree and aggregate counters
@@ -73,32 +82,39 @@ from .analysis import (
 from .analysis import corpus as corpus_mod
 from .check.cli import add_check_parser
 from .check.preflight import PreflightError, preflight_check
-from .io import load_task, save_task, task_to_json
-from .runtime import synthesize_protocol, validate_protocol
+from .io import save_task, task_to_json
 from .runtime.conformance import (
     ConformanceConfig,
     census_slice,
     run_campaign,
 )
-from .solvability import Status, decide_solvability
+from .service import execution as service_execution
+from .service.protocol import ProtocolError, ServiceRequest
+from .solvability import Status
 from .splitting import link_connected_form
 from .tasks.task import Task
-from .tasks import zoo
 from .topology.dot import write_dot
 
 #: name -> zero-argument constructor for every CLI-addressable zoo task
-#: (the single registry lives in :func:`repro.tasks.zoo.standard_zoo`)
-ZOO: Dict[str, Callable[[], Task]] = zoo.standard_zoo()
+#: (re-exported from the shared request/response layer, which owns the
+#: registry now that the CLI and the service resolve specs identically)
+ZOO: Dict[str, Callable[[], Task]] = service_execution.ZOO
 
 
 def _resolve_task(spec: str) -> Task:
-    if spec in ZOO:
-        return ZOO[spec]()
-    if spec.endswith(".json"):
-        return load_task(spec)
-    raise SystemExit(
-        f"unknown task {spec!r}; use one of {', '.join(sorted(ZOO))} or a .json file"
-    )
+    """Resolve a spec through the shared layer; usage errors exit."""
+    try:
+        return service_execution.resolve_task(spec)
+    except ProtocolError as exc:
+        raise SystemExit(str(exc)) from exc
+
+
+def _execute(req: ServiceRequest) -> service_execution.ExecutionOutcome:
+    """Run one request through the shared layer; usage errors exit."""
+    try:
+        return service_execution.execute_request(req)
+    except ProtocolError as exc:
+        raise SystemExit(str(exc)) from exc
 
 
 @contextlib.contextmanager
@@ -152,8 +168,12 @@ def _tracing_to(args, command: str, task: str | None = None):
 
 def cmd_decide(args) -> int:
     task = _resolve_task(args.task)
+    req = ServiceRequest(
+        op="decide", task=args.task, params={"max_rounds": args.max_rounds}
+    )
     with _tracing_to(args, f"decide {args.task}", task=args.task):
-        verdict = decide_solvability(task, max_rounds=args.max_rounds)
+        outcome = _execute(req)
+    verdict = outcome.verdict
     print(f"task:    {task.name or args.task}")
     print(f"status:  {verdict.status.value}")
     if verdict.status is Status.UNSOLVABLE:
@@ -165,7 +185,14 @@ def cmd_decide(args) -> int:
         print("certificate: none (budgets exhausted)")
     for key in sorted(verdict.stats):
         print(f"  stats.{key} = {verdict.stats[key]}")
-    return 0 if verdict.status is not Status.UNKNOWN else 2
+    if args.json:
+        # the same repro-verdict/1 document the service serves for this
+        # spec — canonically ordered so the two are bit-identical
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(outcome.response["verdict"], fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return outcome.exit_code
 
 
 def _load_trace(path: str):
@@ -360,8 +387,12 @@ def cmd_analyze(args) -> int:
             preflight_check(task)
         except PreflightError as exc:
             raise SystemExit(str(exc)) from exc
+    req = ServiceRequest(
+        op="analyze", task=args.task, params={"max_rounds": args.max_rounds}
+    )
     with _tracing_to(args, f"analyze {args.task}", task=args.task):
-        report = analyze_task(task, max_rounds=args.max_rounds)
+        outcome = _execute(req)
+    report = outcome.report
     print(report)
     if args.dot:
         write_dot(task.output_complex, f"{args.dot}-output.dot")
@@ -384,31 +415,112 @@ def cmd_analyze(args) -> int:
     if args.save_split and report.transform is not None:
         save_task(report.transform.task, args.save_split)
         print(f"wrote {args.save_split}")
-    return 0 if report.verdict.status is not Status.UNKNOWN else 2
+    return outcome.exit_code
 
 
 def cmd_synthesize(args) -> int:
-    task = _resolve_task(args.task)
+    _resolve_task(args.task)  # usage errors (unknown spec) exit before tracing
+    req = ServiceRequest(
+        op="synthesize",
+        task=args.task,
+        params={
+            "max_rounds": args.max_rounds,
+            "figure7": args.figure7,
+            "runs": args.runs,
+            "facets_only": args.facets_only,
+        },
+    )
     with _tracing_to(args, f"synthesize {args.task}", task=args.task):
-        try:
-            protocol = synthesize_protocol(
-                task, max_rounds=args.max_rounds, prefer_direct=not args.figure7
-            )
-        except Exception as exc:
-            print(f"synthesis failed: {exc}", file=sys.stderr)
-            return 1
-        print(f"synthesized {protocol.mode} protocol, r={protocol.rounds}")
-        report = validate_protocol(
-            task,
-            protocol.factories,
-            participation="facets" if args.facets_only else "all",
-            random_runs=args.runs,
-        )
+        # only the documented failure modes (SynthesisError, budget
+        # exhaustion, preflight rejection) come back as ok:false here;
+        # a programming error propagates with its traceback intact
+        outcome = _execute(req)
+    if not outcome.response["ok"]:
+        message = outcome.response["error"]["message"]
+        print(f"synthesis failed: {message}", file=sys.stderr)
+        return outcome.exit_code
+    protocol = outcome.protocol
+    print(f"synthesized {protocol.mode} protocol, r={protocol.rounds}")
+    report = outcome.validation
     status = "all executions legal" if report.ok else "VIOLATIONS FOUND"
     print(f"validated over {report.runs} executions: {status}")
     for v in report.violations[:3]:
         print(f"  {v}")
-    return 0 if report.ok else 1
+    return outcome.exit_code
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .service.server import ServerConfig, SolvabilityServer
+    from .service.workers import POOL_KINDS
+
+    if args.pool not in POOL_KINDS:
+        raise SystemExit(f"--pool must be one of {POOL_KINDS}, got {args.pool!r}")
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        batch_size=args.batch_size,
+        workers=args.workers,
+        pool=args.pool,
+        persist=not args.no_persist,
+    )
+    server = SolvabilityServer(config)
+
+    async def _run() -> None:
+        await server.start()
+        print(
+            f"serving on http://{config.host}:{server.port} "
+            f"(pool={config.pool}, workers={config.workers}, "
+            f"shards={config.shards}, persist={config.persist})",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_serve_bench(args) -> int:
+    from .service import bench as service_bench
+    from .service.server import ServerConfig
+
+    config = ServerConfig(
+        shards=args.shards,
+        batch_size=args.batch_size,
+        workers=args.workers,
+        pool=args.pool,
+        persist=not args.no_persist,
+    )
+    with _tracing_to(args, "serve-bench"):
+        try:
+            result = service_bench.run_service_bench(
+                requests=args.requests,
+                concurrency=args.concurrency,
+                pool_size=args.pool_size,
+                skew=args.zipf,
+                seed=args.seed,
+                passes=args.passes,
+                replay=args.replay,
+                url=args.url,
+                server_config=config,
+            )
+        except (OSError, ValueError) as exc:
+            raise SystemExit(str(exc)) from exc
+    print(service_bench.format_summary(result))
+    if args.out:
+        result["harness"].write(args.out)
+        print(f"wrote {args.out}")
+    problems = service_bench.check_gates(
+        result, min_hit_rate=args.min_hit_rate, max_p99_ms=args.max_p99_ms
+    )
+    for problem in problems:
+        print(f"GATE: {problem}", file=sys.stderr)
+    return 1 if problems else 0
 
 
 def cmd_census(args) -> int:
@@ -638,6 +750,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("task", help="zoo name or task JSON file")
     p.add_argument("--max-rounds", type=int, default=2)
+    p.add_argument(
+        "--json",
+        metavar="FILE",
+        help="write the repro-verdict/1 verdict JSON (bit-identical to "
+        "what the service serves for the same spec)",
+    )
     _add_observability_args(p)
     p.set_defaults(fn=cmd_decide)
 
@@ -791,6 +909,140 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--facets-only", action="store_true")
     _add_observability_args(p)
     p.set_defaults(fn=cmd_synthesize)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the solvability verdict server "
+        "(POST /v1/solve, GET /healthz, GET /v1/stats; docs/service.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="listen port (0 = OS-assigned; default 8642)",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="batch-queue shards (default 2)",
+    )
+    p.add_argument(
+        "--batch-size",
+        type=int,
+        default=8,
+        help="max requests per worker dispatch (default 8)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker pool size (default 1)",
+    )
+    p.add_argument(
+        "--pool",
+        choices=["thread", "process", "inline"],
+        default="thread",
+        help="worker pool kind (default thread; 'inline' executes on the "
+        "event loop, for debugging)",
+    )
+    p.add_argument(
+        "--no-persist",
+        action="store_true",
+        help="keep the verdict cache in memory only (skip the diskstore)",
+    )
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "serve-bench",
+        help="replay duplicate-heavy load against the verdict server and "
+        "emit a repro-perf/1 report (docs/service.md)",
+    )
+    p.add_argument(
+        "--requests",
+        type=int,
+        default=200,
+        help="stream length when generating a workload (default 200)",
+    )
+    p.add_argument(
+        "--concurrency",
+        type=int,
+        default=4,
+        help="client worker threads (default 4)",
+    )
+    p.add_argument(
+        "--pool-size",
+        type=int,
+        default=6,
+        help="distinct specs in the generated workload (default 6)",
+    )
+    p.add_argument(
+        "--zipf",
+        type=float,
+        default=1.2,
+        help="zipf skew of the generated workload (default 1.2)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    p.add_argument(
+        "--passes",
+        type=int,
+        default=2,
+        help="replay passes: first cold, last steady-state (default 2)",
+    )
+    p.add_argument(
+        "--replay",
+        metavar="FILE",
+        help="replay a JSONL request stream instead of generating one",
+    )
+    p.add_argument(
+        "--url",
+        metavar="URL",
+        help="bench an already-running server instead of starting one "
+        "in-process",
+    )
+    p.add_argument(
+        "--min-hit-rate",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="exit 1 unless the steady-state hit rate reaches RATE",
+    )
+    p.add_argument(
+        "--max-p99-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="exit 1 if the steady-state p99 exceeds MS milliseconds",
+    )
+    p.add_argument(
+        "--out",
+        metavar="FILE",
+        help="write the repro-perf/1 report (e.g. "
+        "benchmarks/BENCH_service.json)",
+    )
+    p.add_argument(
+        "--shards", type=int, default=2, help="in-process server: shards"
+    )
+    p.add_argument(
+        "--batch-size", type=int, default=8, help="in-process server: batch size"
+    )
+    p.add_argument(
+        "--workers", type=int, default=1, help="in-process server: pool size"
+    )
+    p.add_argument(
+        "--pool",
+        choices=["thread", "process", "inline"],
+        default="thread",
+        help="in-process server: pool kind",
+    )
+    p.add_argument(
+        "--no-persist",
+        action="store_true",
+        help="in-process server: memory-only verdict cache",
+    )
+    _add_observability_args(p)
+    p.set_defaults(fn=cmd_serve_bench)
 
     p = sub.add_parser("census", help="decide a random-task population")
     p.add_argument("--seeds", type=int, default=20)

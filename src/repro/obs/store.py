@@ -26,13 +26,14 @@ rest (a half-written line from a crashed run must not poison history).
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import socket
 import subprocess
 import time
 from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..service.keys import record_id
 
 #: Run-record format identifier; bump the suffix on breaking changes.
 SCHEMA = "repro-run/1"
@@ -88,12 +89,14 @@ def _top_spans(spans: Iterable[Dict[str, Any]]) -> Dict[str, Dict[str, Any]]:
 
 
 def _run_id(record: Dict[str, Any]) -> str:
-    """Content hash over everything but the id itself: stable, collision-safe."""
-    body = {k: v for k, v in record.items() if k != "run_id"}
-    digest = hashlib.sha256(
-        json.dumps(body, sort_keys=True, default=str).encode("utf-8")
-    )
-    return digest.hexdigest()[:12]
+    """Content hash over everything but the id itself: stable, collision-safe.
+
+    Delegates to :func:`repro.service.keys.record_id`, the shared
+    content-hashing module — the serialization and truncation are
+    byte-identical to what this function always produced, so historical
+    run ids remain reproducible.
+    """
+    return record_id(record)
 
 
 def build_run_record(

@@ -1,0 +1,108 @@
+"""The content-addressed verdict memo store behind the service.
+
+Two levels, both keyed by the canonical request key from
+:func:`repro.service.protocol.request_key`:
+
+* an in-process dict — the steady-state fast path a hot key is served
+  from with no I/O at all;
+* the persistent :mod:`repro.topology.diskstore` (namespace
+  ``"service"``) — survives server restarts and is shared with every
+  other process pointing at the same store directory, so a verdict
+  computed once on a machine is never recomputed there.
+
+Values are complete ``repro-service/1`` response envelopes (JSON-safe
+dicts), not verdict objects: a hit is served byte-for-byte without
+re-rendering, which is also what makes the CLI/service bit-identical
+guarantee cheap to keep.
+
+Counters: ``service.cache.hit.memory`` / ``service.cache.hit.disk`` /
+``service.cache.miss`` feed ``repro obs diff`` like every other cache in
+the tree.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..obs import counter_add
+from ..topology import diskstore
+from .protocol import SCHEMA
+
+#: diskstore namespace holding persisted response envelopes
+NAMESPACE = "service"
+
+
+def _disk_get(key: str) -> Optional[Any]:
+    """Probe the persistent layer (kept tiny: a persisted entry point)."""
+    return diskstore.load(NAMESPACE, key)
+
+
+def _disk_put(key: str, response: Dict[str, Any]) -> None:
+    """Persist one response envelope (kept tiny: a persisted entry point)."""
+    diskstore.store(NAMESPACE, key, response)
+
+
+class VerdictCache:
+    """Two-level content-addressed response cache (memory + diskstore)."""
+
+    def __init__(self, persist: bool = True) -> None:
+        self._memory: Dict[str, Dict[str, Any]] = {}
+        self._persist = persist
+        self.hits_memory = 0
+        self.hits_disk = 0
+        self.misses = 0
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """A cached response envelope, or ``None`` on miss.
+
+        Disk hits are promoted into memory; a stored value that is not a
+        plausible envelope (schema drift, a foreign object under the
+        same namespace) is treated as a miss rather than served.
+        """
+        response = self._memory.get(key)
+        if response is not None:
+            self.hits_memory += 1
+            counter_add("service.cache.hit.memory")
+            return response
+        if self._persist:
+            stored = _disk_get(key)
+            if (
+                isinstance(stored, dict)
+                and stored.get("schema") == SCHEMA
+                and stored.get("ok")
+            ):
+                self._memory[key] = stored
+                self.hits_disk += 1
+                counter_add("service.cache.hit.disk")
+                return stored
+        self.misses += 1
+        counter_add("service.cache.miss")
+        return None
+
+    def put(self, key: str, response: Dict[str, Any]) -> None:
+        """Memoize one response; only successes are worth persisting.
+
+        Failed responses (budget exhaustion, preflight rejections) stay
+        out of both levels: budgets and code change, and a cached
+        failure would outlive the condition that produced it.
+        """
+        if not response.get("ok"):
+            return
+        self._memory[key] = response
+        if self._persist:
+            _disk_put(key, response)
+
+    def stats(self) -> Dict[str, Any]:
+        """Hit/miss totals and the end-to-end hit rate."""
+        hits = self.hits_memory + self.hits_disk
+        total = hits + self.misses
+        return {
+            "entries": len(self._memory),
+            "hits_memory": self.hits_memory,
+            "hits_disk": self.hits_disk,
+            "misses": self.misses,
+            "hit_rate": (hits / total) if total else 0.0,
+        }
+
+
+__all__ = ["NAMESPACE", "VerdictCache"]

@@ -1,0 +1,235 @@
+"""One request/response layer shared by the CLI and the service.
+
+``python -m repro decide|analyze|synthesize`` and the asyncio server
+used to duplicate spec parsing, task resolution, verdict rendering and
+exit-code mapping; this module is the single copy both now call.  A
+frontend turns user input into a :class:`ServiceRequest`, calls
+:func:`execute_request`, and renders the returned
+:class:`ExecutionOutcome` however it likes (human text, JSON over HTTP)
+— the response envelope and the exit code are computed once, here.
+
+Failure modes are explicit: :data:`EXPECTED_FAILURES` names the three
+documented ways a request can fail (`SynthesisError`,
+`SearchBudgetExceeded`, `PreflightError`); exactly these are mapped to
+``ok: false`` responses with exit code 1.  Anything else is a
+programming error and **propagates** — the CLI shows the traceback, the
+server's transport boundary turns it into an HTTP 500.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from ..analysis import analyze_task
+from ..check.preflight import PreflightError
+from ..io import load_task
+from ..runtime import SynthesisError, synthesize_protocol, validate_protocol
+from ..solvability import SearchBudgetExceeded, decide_solvability
+from ..tasks import zoo
+from ..tasks.task import Task
+from .protocol import (
+    ProtocolError,
+    ServiceRequest,
+    make_response,
+    request_key,
+    task_from_request,
+    verdict_to_json,
+)
+
+#: name -> zero-argument constructor for every addressable zoo task
+#: (the single registry lives in :func:`repro.tasks.zoo.standard_zoo`)
+ZOO: Dict[str, Callable[[], Task]] = zoo.standard_zoo()
+
+#: the documented failure modes; everything else is a bug and propagates
+EXPECTED_FAILURES = (SynthesisError, SearchBudgetExceeded, PreflightError)
+
+#: exception class name -> response error kind
+_FAILURE_KINDS = {
+    SynthesisError: "synthesis-error",
+    SearchBudgetExceeded: "search-budget-exceeded",
+    PreflightError: "preflight-error",
+}
+
+
+def resolve_task(spec: Any) -> Task:
+    """Resolve a request's task spec: zoo name, ``*.json`` path, or JSON.
+
+    Raises :class:`ProtocolError` on an unknown name or unreadable file;
+    frontends map that to their usage-error convention (CLI
+    ``SystemExit``, HTTP 400).
+    """
+    if isinstance(spec, dict):
+        return task_from_request(ServiceRequest(op="decide", task=spec))
+    if spec in ZOO:
+        return ZOO[spec]()
+    if isinstance(spec, str) and spec.endswith(".json"):
+        try:
+            return load_task(spec)
+        except (OSError, ValueError) as exc:
+            raise ProtocolError(f"cannot load task file {spec!r}: {exc}") from exc
+    raise ProtocolError(
+        f"unknown task {spec!r}; use one of {', '.join(sorted(ZOO))} "
+        "or a .json file"
+    )
+
+
+@dataclass
+class ExecutionOutcome:
+    """A response envelope plus the rich objects a CLI wants to print."""
+
+    response: Dict[str, Any]
+    exit_code: int
+    task: Optional[Task] = None
+    verdict: Any = None
+    report: Any = None
+    protocol: Any = None
+    validation: Any = None
+
+
+def response_exit_code(response: Dict[str, Any]) -> int:
+    """The CLI exit-code convention, derived from a response envelope.
+
+    ``0`` success / definitive answer, ``1`` failure (expected failure
+    modes, validation violations), ``2`` inconclusive (UNKNOWN verdict).
+    """
+    if not response.get("ok"):
+        return 1
+    verdict = response.get("verdict")
+    if verdict is not None and verdict.get("status") == "unknown":
+        return 2
+    synthesis = response.get("synthesis")
+    if synthesis is not None and not synthesis.get("ok"):
+        return 1
+    return 0
+
+
+def execute_request(req: ServiceRequest) -> ExecutionOutcome:
+    """Resolve, execute and package one request.
+
+    Pure given the spec: the same request always yields the same
+    ``response`` (the envelope carries no timings or host details),
+    which is what makes responses content-addressable.
+    """
+    task = resolve_task(req.task)
+    key = request_key(req, task)
+    params = req.merged_params()
+    if req.op == "decide":
+        verdict = decide_solvability(task, max_rounds=params["max_rounds"])
+        response = make_response(key, req.op, verdict=verdict_to_json(verdict))
+        return ExecutionOutcome(
+            response=response,
+            exit_code=response_exit_code(response),
+            task=task,
+            verdict=verdict,
+        )
+    if req.op == "analyze":
+        report = analyze_task(task, max_rounds=params["max_rounds"])
+        response = make_response(
+            key,
+            req.op,
+            verdict=verdict_to_json(report.verdict),
+            analysis={
+                "splits": report.n_splits,
+                "laps": report.lap_count,
+                "o_prime_components": report.o_prime_components,
+            },
+        )
+        return ExecutionOutcome(
+            response=response,
+            exit_code=response_exit_code(response),
+            task=task,
+            verdict=report.verdict,
+            report=report,
+        )
+    # synthesize: the three documented failure modes become ok:false
+    # responses; any other exception is a defect and propagates with its
+    # traceback intact (the old CLI's bare ``except Exception`` hid those)
+    try:
+        protocol = synthesize_protocol(
+            task,
+            max_rounds=params["max_rounds"],
+            prefer_direct=not params["figure7"],
+        )
+    except EXPECTED_FAILURES as exc:
+        response = make_response(
+            key, req.op, error=(_failure_kind(exc), str(exc))
+        )
+        return ExecutionOutcome(response=response, exit_code=1, task=task)
+    validation = validate_protocol(
+        task,
+        protocol.factories,
+        participation="facets" if params["facets_only"] else "all",
+        random_runs=params["runs"],
+    )
+    response = make_response(
+        key,
+        req.op,
+        synthesis={
+            "mode": protocol.mode,
+            "rounds": protocol.rounds,
+            "validated_runs": validation.runs,
+            "ok": validation.ok,
+        },
+    )
+    return ExecutionOutcome(
+        response=response,
+        exit_code=response_exit_code(response),
+        task=task,
+        protocol=protocol,
+        validation=validation,
+    )
+
+
+def _failure_kind(exc: BaseException) -> str:
+    for cls, kind in _FAILURE_KINDS.items():
+        if isinstance(exc, cls):
+            return kind
+    return type(exc).__name__  # pragma: no cover - EXPECTED_FAILURES only
+
+
+def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Parse and execute one raw JSON request; the worker-pool entry.
+
+    Malformed payloads become ``protocol-error`` responses instead of
+    exceptions so one bad request in a batch cannot poison its
+    batch-mates; programming errors still propagate (the batch
+    dispatcher's transport boundary maps them to internal errors).
+    """
+    try:
+        req = parse_request_payload(payload)
+        return execute_request(req).response
+    except ProtocolError as exc:
+        from .protocol import OP_DEFAULTS
+
+        op = payload.get("op") if isinstance(payload, dict) else None
+        return make_response(
+            _payload_key(payload),
+            op if op in OP_DEFAULTS else "decide",
+            error=("protocol-error", str(exc)),
+        )
+
+
+def parse_request_payload(payload: Dict[str, Any]) -> ServiceRequest:
+    """:func:`repro.service.protocol.parse_request`, re-exported for pools."""
+    from .protocol import parse_request
+
+    return parse_request(payload)
+
+
+def _payload_key(payload: Any) -> str:
+    """A fallback key for a payload that never canonicalized."""
+    from .keys import json_hash
+
+    return json_hash(payload)
+
+
+__all__ = [
+    "EXPECTED_FAILURES",
+    "ExecutionOutcome",
+    "ZOO",
+    "execute_payload",
+    "execute_request",
+    "resolve_task",
+    "response_exit_code",
+]

@@ -1,0 +1,357 @@
+"""The asyncio verdict server: stdlib HTTP over the shared request layer.
+
+One process, one event loop, no framework: connections are accepted with
+:func:`asyncio.start_server` and HTTP/1.1 is parsed by hand (request
+line, headers, ``Content-Length`` body — the subset the protocol
+needs).  The solve path is
+
+    parse -> resolve task -> content key -> cache probe -> batch submit
+
+where the cache probe serves hits without touching the worker pool and a
+miss rides a per-shard batch into :func:`repro.service.workers
+.run_request_batch`.  Responses to ``POST /v1/solve`` are
+``repro-service/1`` envelopes; ``GET /healthz`` and ``GET /v1/stats``
+exist for probes and the load generator.
+
+The event-loop side records **counters and gauges only** — the obs
+recorder's span stack is not safe across interleaved coroutines, so
+spans live in the worker function, not here.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..obs import counter_add
+from .batch import BatchQueue
+from .cache import VerdictCache
+from .execution import resolve_task
+from .keys import canonical_dumps
+from .protocol import (
+    ProtocolError,
+    SCHEMA,
+    canonical_body,
+    parse_request,
+    request_key,
+)
+from .workers import make_pool, run_request_batch
+
+#: maximum accepted request body, in bytes (task JSON is small; a larger
+#: body is almost certainly a client bug or abuse)
+MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+@dataclass
+class ServerConfig:
+    """Tunables for one :class:`SolvabilityServer` instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = let the OS pick; read ``server.port`` after start
+    shards: int = 2
+    batch_size: int = 8
+    workers: int = 1
+    pool: str = "thread"
+    persist: bool = True
+
+
+class SolvabilityServer:
+    """Async HTTP frontend over the batch queue and verdict cache."""
+
+    def __init__(self, config: Optional[ServerConfig] = None) -> None:
+        self.config = config or ServerConfig()
+        self.cache = VerdictCache(persist=self.config.persist)
+        self._pool = make_pool(self.config.pool, self.config.workers)
+        self.batches = BatchQueue(
+            run_request_batch,
+            self._pool,
+            shards=self.config.shards,
+            batch_size=self.config.batch_size,
+            cache=self.cache,
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self.port: Optional[int] = None
+        self.requests_total = 0
+        self.errors_total = 0
+        # spelling -> (request key, canonical body).  Computing a request
+        # key means *building the task* (a zoo constructor plus tagged
+        # re-serialization, tens of ms for the bigger complexes), which
+        # would dominate every cached hit; a byte-identical payload can
+        # reuse the canonicalization the first sighting paid for.
+        self._keymap: Dict[str, Tuple[str, Dict[str, Any]]] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listen socket and start the shard dispatchers."""
+        await self.batches.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Stop accepting, drain the dispatchers, release the pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batches.stop()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    async def serve_forever(self) -> None:
+        """Block on the listen socket until cancelled."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- HTTP --------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    parsed = await self._read_request(reader)
+                except ProtocolError as exc:
+                    counter_add("service.errors.bad_request")
+                    await self._write_response(
+                        writer, 400, {"error": str(exc)}, keep_alive=False
+                    )
+                    break
+                if parsed is None:
+                    break
+                method, path, headers, body = parsed
+                status, payload = await self._route(method, path, body)
+                keep_alive = headers.get("connection", "").lower() != "close"
+                await self._write_response(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        """Parse one HTTP/1.1 request, or ``None`` on a closed socket."""
+        try:
+            request_line = await reader.readline()
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            return None
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise ProtocolError(f"malformed request line {request_line!r}")
+        method, path, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise ProtocolError(f"request body of {length} bytes is too large")
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        self.requests_total += 1
+        counter_add("service.requests")
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "healthz is GET-only"}
+            return 200, {"status": "ok", "schema": SCHEMA}
+        if path == "/v1/stats":
+            if method != "GET":
+                return 405, {"error": "stats is GET-only"}
+            return 200, self.stats()
+        if path == "/v1/solve":
+            if method != "POST":
+                return 405, {"error": "solve is POST-only"}
+            return await self._solve(body)
+        return 404, {"error": f"no route {path!r}"}
+
+    async def _solve(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self.errors_total += 1
+            counter_add("service.errors.bad_request")
+            return 400, {"error": f"request body is not JSON: {exc}"}
+        spelling = canonical_dumps(payload)
+        known = self._keymap.get(spelling)
+        if known is not None:
+            key, canonical = known
+            counter_add("service.keymap.hit")
+            counter_add(f"service.op.{canonical['op']}")
+        else:
+            try:
+                req = parse_request(payload)
+                counter_add(f"service.op.{req.op}")
+                task = resolve_task(req.task)
+                key = request_key(req, task)
+            except ProtocolError as exc:
+                self.errors_total += 1
+                counter_add("service.errors.bad_request")
+                return 400, {"error": str(exc)}
+            canonical = canonical_body(req, task)
+            self._keymap[spelling] = (key, canonical)
+        hit = self.cache.get(key)
+        if hit is not None:
+            return 200, dict(hit, cached=True)
+        # submit the *canonical* body so every spelling of the same
+        # request coalesces onto one in-flight computation
+        response = await self.batches.submit(key, canonical)
+        if (
+            not response.get("ok")
+            and response.get("error", {}).get("kind") == "internal-error"
+        ):
+            self.errors_total += 1
+            return 500, response
+        return 200, response
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, Any],
+        keep_alive: bool,
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """A JSON-safe snapshot for ``GET /v1/stats`` and the bench."""
+        return {
+            "schema": SCHEMA,
+            "requests": self.requests_total,
+            "errors": self.errors_total,
+            "cache": self.cache.stats(),
+            "batch": {
+                "shards": self.batches.shards,
+                "batch_size": self.batches.batch_size,
+                "dispatched_batches": self.batches.dispatched_batches,
+                "dispatched_requests": self.batches.dispatched_requests,
+                "coalesced": self.batches.coalesced,
+                "queue_depth": self.batches.queue_depth(),
+            },
+            "pool": self.config.pool,
+            "workers": self.config.workers,
+        }
+
+
+class ServerThread:
+    """A server on a dedicated thread with its own event loop.
+
+    The synchronous wrapper tests and the bench harness use: ``start()``
+    blocks until the listen port is known, ``stop()`` is threadsafe and
+    joins the thread.  Usable as a context manager.
+    """
+
+    def __init__(self, config: Optional[ServerConfig] = None) -> None:
+        self.server = SolvabilityServer(config)
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def port(self) -> int:
+        port = self.server.port
+        if port is None:
+            raise RuntimeError("server is not running")
+        return port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.server.config.host}:{self.port}"
+
+    def start(self, timeout: float = 30.0) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service-server", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("server did not start in time")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"server failed to start: {self._startup_error}"
+            ) from self._startup_error
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # surface bind errors to start()
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(self.server.stop())
+            loop.close()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "ServerConfig",
+    "ServerThread",
+    "SolvabilityServer",
+]

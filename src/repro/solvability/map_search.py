@@ -34,7 +34,7 @@ from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
 
 from ..topology.carrier import CarrierMap
 from ..topology.complexes import SimplicialComplex
-from ..topology.maps import SimplicialMap
+from ..topology.maps import NotSimplicialError, SimplicialMap
 from ..topology.simplex import Simplex, color_of, vertex_sort_key
 from ..topology.subdivision import SubdivisionResult
 
@@ -403,10 +403,17 @@ def verify_map(
     """Independently verify a witness: simplicial, carried by Δ, colors.
 
     Used by tests and by the decision procedure before trusting a witness.
+
+    Only :class:`NotSimplicialError` — the one failure mode
+    :meth:`SimplicialMap.validate` documents — means "invalid witness".
+    Anything else (an ``AttributeError``/``TypeError`` from a genuine
+    bug) propagates: a broken verifier silently reporting ``False`` is
+    indistinguishable from an unsolvable instance, which is exactly the
+    kind of wrong answer this function exists to prevent.
     """
     try:
         f.validate()
-    except Exception:
+    except NotSimplicialError:
         return False
     if chromatic and not f.is_chromatic():
         return False

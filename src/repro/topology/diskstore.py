@@ -16,11 +16,15 @@ cache:
   variable to ``0``/``off``/``false``/``no``/``disabled`` turns the store
   off entirely;
 * writes are atomic (temp file + ``os.replace``) so a crashed writer can
-  never leave a torn pickle, and a corrupted or unreadable entry is
-  deleted and silently recomputed;
-* every hit/miss/write/corruption increments a ``diskstore.<namespace>.*``
-  counter in :mod:`repro.obs`, so ``repro obs diff`` can lock cache
-  effectiveness in against committed baselines.
+  never leave a torn pickle; a *corrupt* entry (truncated pickle,
+  incompatible class layout) is deleted and silently recomputed, while a
+  transient I/O failure (``EACCES``, ``ENOSPC``, ``EIO``) is warned about
+  and the entry is left alone — deleting a healthy entry because the
+  disk hiccuped would destroy good cache state;
+* every hit/miss/write/corruption/io-error increments a
+  ``diskstore.<namespace>.*`` counter in :mod:`repro.obs`, so ``repro
+  obs diff`` can lock cache effectiveness in against committed
+  baselines.
 
 The store piggybacks on the in-memory cache switch: inside
 ``caching_disabled()`` blocks (how benchmarks measure honest uncached
@@ -29,15 +33,36 @@ baselines) the disk layer is bypassed too.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import pickle
 import tempfile
+import warnings
 from contextlib import contextmanager
 from typing import Any, Iterator, Optional
 
+from ..service.keys import content_hash
 from .cache import caching_enabled
+
+#: exception types that mean "this entry's bytes are bad" — a torn or
+#: truncated pickle, garbage data, or a pickle referencing a class/field
+#: layout that no longer exists.  Healing (delete + recompute) is the
+#: right response to these, and *only* these: an ``OSError`` may hit a
+#: perfectly healthy entry, and anything else is a programming error that
+#: must propagate instead of masquerading as a cache miss.
+_CORRUPTION_ERRORS = (
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ImportError,
+    IndexError,
+    ValueError,
+    TypeError,
+    UnicodeDecodeError,
+)
+
+#: exception types that mean "this object cannot be pickled" on store
+_UNPICKLABLE_ERRORS = (pickle.PicklingError, AttributeError, TypeError)
 
 
 def _count(name: str) -> None:
@@ -128,9 +153,10 @@ def store_at(path: str) -> Iterator[str]:
 # ---------------------------------------------------------------------------
 
 
-def content_hash(text: str) -> str:
-    """Stable hex digest of a canonical text description."""
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:40]
+# ``content_hash`` is re-exported from :mod:`repro.service.keys` (the
+# shared hashing module all content-addressed layers now agree on); the
+# digest semantics are unchanged, so committed corpus manifests and
+# store directories hash identically.
 
 
 def complex_key(k) -> str:
@@ -170,8 +196,14 @@ def _entry_path(namespace: str, key: str, root: Optional[str]) -> Optional[str]:
 def load(namespace: str, key: str, root: Optional[str] = None) -> Optional[Any]:
     """Fetch a stored object, or ``None`` on miss/corruption/disabled.
 
-    A corrupted entry (torn write, incompatible pickle) is removed so the
-    follow-up :func:`store` replaces it with a fresh one.
+    A *corrupted* entry (torn write, incompatible pickle) is removed so
+    the follow-up :func:`store` replaces it with a fresh one.  An I/O
+    failure (``EACCES``, ``EIO``, …) is a different animal: the entry may
+    be perfectly healthy, so it is left in place, a ``RuntimeWarning`` is
+    issued, and a ``diskstore.<namespace>.io_error`` counter records the
+    event.  Anything else — an ``AttributeError`` from a genuine bug in a
+    stored class's ``__setstate__``, say, is corruption-shaped and heals;
+    non-Exception signals propagate untouched.
     """
     if not store_enabled():
         return None
@@ -184,7 +216,16 @@ def load(namespace: str, key: str, root: Optional[str] = None) -> Optional[Any]:
     except FileNotFoundError:
         _count(f"diskstore.{namespace}.miss")
         return None
-    except Exception:
+    except OSError as exc:
+        _count(f"diskstore.{namespace}.io_error")
+        warnings.warn(
+            f"diskstore: cannot read {path}: {exc} (entry kept; treating "
+            "as a miss)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+    except _CORRUPTION_ERRORS:
         _count(f"diskstore.{namespace}.corrupt")
         try:
             os.remove(path)
@@ -198,8 +239,12 @@ def load(namespace: str, key: str, root: Optional[str] = None) -> Optional[Any]:
 def store(namespace: str, key: str, obj: Any, root: Optional[str] = None) -> Optional[str]:
     """Persist an object atomically; returns the entry path (or ``None``).
 
-    Failures (unwritable directory, unpicklable object) are swallowed —
-    the store is an accelerator, never a correctness dependency.
+    Expected failures are swallowed — the store is an accelerator, never
+    a correctness dependency — but they are no longer indistinguishable:
+    an I/O failure (unwritable directory, full disk) warns and counts
+    ``diskstore.<namespace>.io_error``, an unpicklable object counts
+    ``diskstore.<namespace>.unpicklable``, and any other exception is a
+    programming error that propagates.
     """
     if not store_enabled():
         return None
@@ -210,20 +255,46 @@ def store(namespace: str, key: str, obj: Any, root: Optional[str] = None) -> Opt
     try:
         os.makedirs(directory, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-    except OSError:
+    except OSError as exc:
+        _count(f"diskstore.{namespace}.io_error")
+        warnings.warn(
+            f"diskstore: cannot write under {directory}: {exc}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return None
     try:
         with os.fdopen(fd, "wb") as fh:
             pickle.dump(obj, fh, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(tmp, path)
-    except Exception:
-        try:
-            os.remove(tmp)
-        except OSError:
-            pass
+    except OSError as exc:
+        _discard(tmp)
+        _count(f"diskstore.{namespace}.io_error")
+        warnings.warn(
+            f"diskstore: cannot write {path}: {exc}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return None
+    except _UNPICKLABLE_ERRORS:
+        _discard(tmp)
+        _count(f"diskstore.{namespace}.unpicklable")
+        return None
+    except BaseException:
+        # a programming error (or KeyboardInterrupt) mid-write must not
+        # leak the temp file, and must not be swallowed either
+        _discard(tmp)
+        raise
     _count(f"diskstore.{namespace}.write")
     return path
+
+
+def _discard(tmp: str) -> None:
+    """Best-effort removal of a temp file after a failed write."""
+    try:
+        os.remove(tmp)
+    except OSError:  # pragma: no cover - already gone or unremovable
+        pass
 
 
 def write_json_atomic(path: str, payload: Any) -> str:
@@ -241,11 +312,11 @@ def write_json_atomic(path: str, payload: Any) -> str:
             json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
         os.replace(tmp, path)
-    except Exception:
-        try:
-            os.remove(tmp)
-        except OSError:
-            pass
+    except BaseException:
+        # propagate everything (these files are records of record, not
+        # cache entries) — including KeyboardInterrupt, which the old
+        # ``except Exception`` would have let leak the temp file
+        _discard(tmp)
         raise
     return path
 

@@ -1,0 +1,156 @@
+"""The shared request/response layer: outcomes, exit codes, failures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.io import save_task
+from repro.runtime import SynthesisError
+from repro.service import execution
+from repro.service.protocol import (
+    ProtocolError,
+    ServiceRequest,
+    validate_response,
+)
+
+
+class TestResolveTask:
+    def test_zoo_name(self):
+        task = execution.resolve_task("consensus")
+        assert task.n_processes == 3
+
+    def test_json_file(self, tmp_path):
+        path = str(tmp_path / "task.json")
+        save_task(execution.ZOO["consensus"](), path)
+        task = execution.resolve_task(path)
+        assert task.n_processes == 3
+
+    def test_unknown_name_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError, match="unknown task"):
+            execution.resolve_task("not-a-task")
+
+    def test_unreadable_file_is_a_protocol_error(self, tmp_path):
+        missing = str(tmp_path / "missing.json")
+        with pytest.raises(ProtocolError, match="cannot load"):
+            execution.resolve_task(missing)
+
+
+class TestDecideOutcomes:
+    def test_unsolvable_exits_zero(self):
+        outcome = execution.execute_request(
+            ServiceRequest(op="decide", task="consensus")
+        )
+        assert outcome.exit_code == 0
+        assert outcome.response["ok"] is True
+        assert outcome.response["verdict"]["status"] == "unsolvable"
+        assert validate_response(outcome.response) == []
+
+    def test_unknown_exits_two(self):
+        # zero rounds starves the witness search on a solvable-ish task
+        outcome = execution.execute_request(
+            ServiceRequest(
+                op="decide", task="pinwheel", params={"max_rounds": 0}
+            )
+        )
+        if outcome.response["verdict"]["status"] == "unknown":
+            assert outcome.exit_code == 2
+        else:  # decided even at r=0 — exit convention still holds
+            assert outcome.exit_code == 0
+
+    def test_same_request_same_response(self):
+        req = ServiceRequest(op="decide", task="consensus")
+        first = execution.execute_request(req).response
+        second = execution.execute_request(req).response
+        assert first == second
+
+
+class TestAnalyzeOutcomes:
+    def test_analysis_payload(self):
+        outcome = execution.execute_request(
+            ServiceRequest(op="analyze", task="consensus")
+        )
+        assert outcome.exit_code == 0
+        analysis = outcome.response["analysis"]
+        assert set(analysis) == {"splits", "laps", "o_prime_components"}
+        assert outcome.report is not None
+
+
+class TestSynthesizeOutcomes:
+    def test_solvable_task_synthesizes(self):
+        outcome = execution.execute_request(
+            ServiceRequest(
+                op="synthesize", task="identity", params={"runs": 2}
+            )
+        )
+        assert outcome.exit_code == 0
+        assert outcome.response["synthesis"]["ok"] is True
+        assert outcome.protocol is not None
+
+    def test_expected_failure_becomes_ok_false(self):
+        # consensus is unsolvable: SynthesisError is a documented failure
+        outcome = execution.execute_request(
+            ServiceRequest(op="synthesize", task="consensus")
+        )
+        assert outcome.exit_code == 1
+        assert outcome.response["ok"] is False
+        assert outcome.response["error"]["kind"] == "synthesis-error"
+        assert validate_response(outcome.response) == []
+
+    def test_programming_errors_propagate(self, monkeypatch):
+        # the old CLI's bare `except Exception` swallowed these; the
+        # shared layer must let them out with the traceback intact
+        def broken(*args, **kwargs):
+            raise TypeError("a genuine bug, not a failure mode")
+
+        monkeypatch.setattr(execution, "synthesize_protocol", broken)
+        with pytest.raises(TypeError, match="genuine bug"):
+            execution.execute_request(
+                ServiceRequest(op="synthesize", task="identity")
+            )
+
+    def test_expected_failures_cover_the_documented_trio(self):
+        from repro.check.preflight import PreflightError
+        from repro.solvability import SearchBudgetExceeded
+
+        assert set(execution.EXPECTED_FAILURES) == {
+            SynthesisError,
+            SearchBudgetExceeded,
+            PreflightError,
+        }
+
+
+class TestExecutePayload:
+    def test_well_formed_payload_round_trips(self):
+        response = execution.execute_payload(
+            {"op": "decide", "task": "consensus"}
+        )
+        assert response["ok"] is True
+        assert validate_response(response) == []
+
+    def test_malformed_payload_becomes_protocol_error_response(self):
+        response = execution.execute_payload({"op": "meditate"})
+        assert response["ok"] is False
+        assert response["error"]["kind"] == "protocol-error"
+        assert validate_response(response) == []
+
+    def test_unknown_task_becomes_protocol_error_response(self):
+        response = execution.execute_payload(
+            {"op": "decide", "task": "not-a-task"}
+        )
+        assert response["ok"] is False
+        assert response["error"]["kind"] == "protocol-error"
+
+
+class TestExitCodeConvention:
+    @pytest.mark.parametrize(
+        "response,code",
+        [
+            ({"ok": False}, 1),
+            ({"ok": True, "verdict": {"status": "unknown"}}, 2),
+            ({"ok": True, "verdict": {"status": "unsolvable"}}, 0),
+            ({"ok": True, "synthesis": {"ok": False}}, 1),
+            ({"ok": True, "synthesis": {"ok": True}}, 0),
+        ],
+    )
+    def test_mapping(self, response, code):
+        assert execution.response_exit_code(response) == code

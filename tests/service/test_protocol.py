@@ -1,0 +1,167 @@
+"""The repro-service/1 protocol: parsing, canonicalization, envelopes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.io import task_to_json
+from repro.service.execution import ZOO, resolve_task
+from repro.service.protocol import (
+    OP_DEFAULTS,
+    ProtocolError,
+    SCHEMA,
+    ServiceRequest,
+    VERDICT_SCHEMA,
+    make_response,
+    parse_request,
+    request_key,
+    validate_response,
+    verdict_to_json,
+)
+from repro.solvability import decide_solvability
+
+
+class TestParseRequest:
+    def test_minimal_decide(self):
+        req = parse_request({"op": "decide", "task": "consensus"})
+        assert req.op == "decide"
+        assert req.task == "consensus"
+        assert req.merged_params() == OP_DEFAULTS["decide"]
+
+    def test_params_overlay_defaults(self):
+        req = parse_request(
+            {"op": "decide", "task": "consensus", "params": {"max_rounds": 1}}
+        )
+        assert req.merged_params()["max_rounds"] == 1
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not an object",
+            {},
+            {"op": "meditate", "task": "consensus"},
+            {"op": "decide"},
+            {"op": "decide", "task": ""},
+            {"op": "decide", "task": 7},
+            {"op": "decide", "task": "consensus", "params": [1]},
+            {"op": "decide", "task": "consensus", "params": {"bogus": 1}},
+            {"op": "decide", "task": "consensus", "params": {"max_rounds": "2"}},
+            {"op": "decide", "task": "consensus", "params": {"max_rounds": True}},
+            {"op": "decide", "task": "consensus", "params": {"max_rounds": -1}},
+            {"op": "synthesize", "task": "fan", "params": {"figure7": 1}},
+        ],
+    )
+    def test_malformed_requests_raise(self, payload):
+        with pytest.raises(ProtocolError):
+            parse_request(payload)
+
+    def test_op_specific_params_are_rejected_cross_op(self):
+        # runs belongs to synthesize, not decide
+        with pytest.raises(ProtocolError):
+            parse_request(
+                {"op": "decide", "task": "consensus", "params": {"runs": 5}}
+            )
+
+
+class TestRequestKey:
+    def test_zoo_name_and_task_json_hash_identically(self):
+        name_req = parse_request({"op": "decide", "task": "consensus"})
+        task = resolve_task("consensus")
+        json_req = parse_request(
+            {"op": "decide", "task": task_to_json(task)}
+        )
+        key_by_name = request_key(name_req, resolve_task(name_req.task))
+        key_by_json = request_key(json_req, resolve_task(json_req.task))
+        assert key_by_name == key_by_json
+
+    def test_explicit_defaults_hash_like_omitted_defaults(self):
+        task = resolve_task("consensus")
+        bare = ServiceRequest(op="decide", task="consensus")
+        spelled = ServiceRequest(
+            op="decide", task="consensus", params={"max_rounds": 2}
+        )
+        assert request_key(bare, task) == request_key(spelled, task)
+
+    def test_different_params_hash_differently(self):
+        task = resolve_task("consensus")
+        r1 = ServiceRequest(op="decide", task="consensus")
+        r2 = ServiceRequest(
+            op="decide", task="consensus", params={"max_rounds": 1}
+        )
+        assert request_key(r1, task) != request_key(r2, task)
+
+    def test_different_ops_hash_differently(self):
+        task = resolve_task("consensus")
+        decide = ServiceRequest(op="decide", task="consensus")
+        analyze = ServiceRequest(op="analyze", task="consensus")
+        assert request_key(decide, task) != request_key(analyze, task)
+
+
+class TestVerdictJson:
+    def test_unsolvable_carries_obstruction_certificate(self):
+        verdict = decide_solvability(ZOO["consensus"]())
+        payload = verdict_to_json(verdict)
+        assert payload["schema"] == VERDICT_SCHEMA
+        assert payload["status"] == "unsolvable"
+        assert payload["solvable"] is False
+        assert payload["certificate"]["kind"] == "obstruction"
+        assert payload["certificate"]["obstruction"]
+
+    def test_solvable_carries_witness_certificate(self):
+        verdict = decide_solvability(ZOO["identity"]())
+        payload = verdict_to_json(verdict)
+        assert payload["status"] == "solvable"
+        assert payload["certificate"]["kind"] in (
+            "witness-map",
+            "proposition-5.4",
+        )
+
+    def test_no_timing_noise_in_verdict_json(self):
+        # run twice: identical bytes (stats carry wall-clock noise and
+        # must not leak into the document)
+        first = verdict_to_json(decide_solvability(ZOO["consensus"]()))
+        second = verdict_to_json(decide_solvability(ZOO["consensus"]()))
+        assert first == second
+        assert "stats" not in first
+        assert not any("second" in k for k in first)
+
+
+class TestResponseEnvelope:
+    def test_success_envelope_validates(self):
+        verdict = verdict_to_json(decide_solvability(ZOO["consensus"]()))
+        response = make_response("k" * 40, "decide", verdict=verdict)
+        assert response["schema"] == SCHEMA
+        assert response["ok"] is True
+        assert response["cached"] is False
+        assert validate_response(response) == []
+
+    def test_error_envelope_validates(self):
+        response = make_response(
+            "k" * 40, "synthesize", error=("synthesis-error", "unsolvable")
+        )
+        assert response["ok"] is False
+        assert validate_response(response) == []
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            {"schema": "repro-service/0"},
+            {"key": ""},
+            {"op": "meditate"},
+            {"ok": "yes"},
+            {"cached": None},
+            {"verdict": {"schema": "bogus"}},
+        ],
+    )
+    def test_validate_response_catches_drift(self, mutation):
+        verdict = verdict_to_json(decide_solvability(ZOO["consensus"]()))
+        response = make_response("k" * 40, "decide", verdict=verdict)
+        response.update(mutation)
+        assert validate_response(response) != []
+
+    def test_failed_response_needs_an_error_object(self):
+        response = make_response(
+            "k" * 40, "decide", error=("protocol-error", "bad")
+        )
+        del response["error"]
+        assert validate_response(response) != []

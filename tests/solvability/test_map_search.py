@@ -147,6 +147,45 @@ class TestWitnessVerification:
         )
         assert not verify_map(sub, identity3.delta, f, chromatic=True)
 
+    def test_programming_errors_in_validate_propagate(self, identity3, monkeypatch):
+        # regression: verify_map used to swallow *every* exception from
+        # f.validate(), so a bug in the verifier read as "invalid witness"
+        # — i.e. a silent wrong answer.  Only NotSimplicialError means
+        # that; anything else must surface with its traceback.
+        from repro.topology.maps import SimplicialMap
+
+        sub = _sub(identity3, 0)
+        f = SimplicialMap(
+            sub.complex,
+            identity3.output_complex,
+            {v: v for v in sub.complex.vertices},
+            check=False,
+        )
+
+        def broken(self):
+            raise TypeError("a bug in the verifier, not a bad witness")
+
+        monkeypatch.setattr(SimplicialMap, "validate", broken)
+        with pytest.raises(TypeError, match="bug in the verifier"):
+            verify_map(sub, identity3.delta, f, chromatic=True)
+
+    def test_not_simplicial_still_reads_as_invalid(self, identity3, monkeypatch):
+        from repro.topology.maps import NotSimplicialError, SimplicialMap
+
+        sub = _sub(identity3, 0)
+        f = SimplicialMap(
+            sub.complex,
+            identity3.output_complex,
+            {v: v for v in sub.complex.vertices},
+            check=False,
+        )
+
+        def rejects(self):
+            raise NotSimplicialError("collapsed a facet")
+
+        monkeypatch.setattr(SimplicialMap, "validate", rejects)
+        assert verify_map(sub, identity3.delta, f) is False
+
     def test_empty_domain_returns_none_fast(self, consensus3):
         # chromatic consensus at r=0: solo vertices force own input, but the
         # mixed facets then have no consistent image; search returns None

@@ -103,6 +103,15 @@ class TestDecide:
         assert main(["decide", "approx-agreement", "--max-rounds", "0"]) == 2
         assert "budgets exhausted" in capsys.readouterr().out
 
+    def test_json_export_is_the_service_verdict_schema(self, tmp_path, capsys):
+        out = tmp_path / "verdict.json"
+        assert main(["decide", "consensus", "--json", str(out)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro-verdict/1"
+        assert payload["status"] == "unsolvable"
+        assert payload["certificate"]["kind"] == "obstruction"
+
     def test_unknown_task_rejected(self):
         with pytest.raises(SystemExit, match="unknown task"):
             main(["decide", "martian-task"])
@@ -228,6 +237,39 @@ class TestSynthesize:
 
     def test_unsolvable_fails(self, capsys):
         assert main(["synthesize", "consensus", "--runs", "1"]) == 1
+        assert "synthesis failed" in capsys.readouterr().err
+
+    def test_programming_errors_propagate(self, capsys, monkeypatch):
+        # regression: cmd_synthesize used to wrap the whole attempt in a
+        # bare `except Exception`, so a TypeError from a bug printed
+        # "synthesis failed" and exited 1 — indistinguishable from an
+        # unsolvable task.  Only the documented failure modes
+        # (SynthesisError, SearchBudgetExceeded, PreflightError) may be
+        # reported that way; bugs must crash with their traceback.
+        from repro.service import execution as service_execution
+
+        def broken(*args, **kwargs):
+            raise TypeError("a bug, not a failure mode")
+
+        monkeypatch.setattr(
+            service_execution, "synthesize_protocol", broken
+        )
+        with pytest.raises(TypeError, match="a bug, not a failure mode"):
+            main(["synthesize", "identity", "--runs", "1"])
+
+    def test_expected_failure_exits_one_with_message(self, capsys, monkeypatch):
+        from repro.runtime import SynthesisError
+        from repro.service import execution as service_execution
+
+        def refuses(*args, **kwargs):
+            raise SynthesisError("no witness map within budget")
+
+        monkeypatch.setattr(
+            service_execution, "synthesize_protocol", refuses
+        )
+        assert main(["synthesize", "identity", "--runs", "1"]) == 1
+        err = capsys.readouterr().err
+        assert "synthesis failed: no witness map within budget" in err
 
     def test_trace_export_is_schema_valid(self, tmp_path, capsys):
         from repro.obs import validate_trace
@@ -250,6 +292,45 @@ class TestSynthesize:
         payload = json.loads(out.read_text())
         assert validate_trace(payload) == []
         assert payload["meta"]["command"] == "synthesize identity"
+
+
+class TestServeBench:
+    def test_emits_a_valid_report_and_passes_its_gates(self, tmp_path, capsys):
+        from repro.perf import validate_report
+
+        out = tmp_path / "BENCH_service.json"
+        assert (
+            main(
+                [
+                    "serve-bench",
+                    "--requests", "8",
+                    "--concurrency", "2",
+                    "--pool-size", "1",
+                    "--no-persist",
+                    "--min-hit-rate", "0.5",
+                    "--out", str(out),
+                ]
+            )
+            == 0
+        )
+        assert "hit rate" in capsys.readouterr().out
+        assert validate_report(json.loads(out.read_text())) == []
+
+    def test_failed_gate_exits_one(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "serve-bench",
+                    "--requests", "6",
+                    "--concurrency", "2",
+                    "--pool-size", "1",
+                    "--no-persist",
+                    "--max-p99-ms", "0.0",
+                ]
+            )
+            == 1
+        )
+        assert "GATE" in capsys.readouterr().err
 
 
 class TestCensus:

@@ -188,3 +188,117 @@ class TestPipelineCaches:
         with diskstore.store_disabled():
             without = run_census(seeds)
         assert without.as_tuple() == with_store.as_tuple()
+
+
+# -- failure taxonomy (I/O errors vs corruption vs bugs) ------------------------
+
+
+class TestFailureTaxonomy:
+    """I/O errors, corruption and programming errors are three animals.
+
+    Regression tests for the old blanket ``except Exception`` handlers:
+    an ``EACCES`` on a healthy entry must not delete it, a torn pickle
+    must heal, and a genuine bug must propagate instead of reading as a
+    cache miss.
+    """
+
+    def test_load_io_error_keeps_entry_warns_and_counts(
+        self, store, monkeypatch
+    ):
+        import builtins
+
+        key = diskstore.content_hash("healthy")
+        path = diskstore.store("tower", key, "a healthy value")
+        assert path is not None
+
+        real_open = builtins.open
+
+        def denied(file, *args, **kwargs):
+            if str(file).endswith(".pkl"):
+                raise PermissionError(13, "permission denied", str(file))
+            return real_open(file, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "open", denied)
+        with tracing() as rec:
+            before = rec.counters.get("diskstore.tower.io_error", 0)
+            with pytest.warns(RuntimeWarning, match="entry kept"):
+                assert diskstore.load("tower", key) is None
+            assert (
+                rec.counters.get("diskstore.tower.io_error", 0) == before + 1
+            )
+        # the entry was NOT deleted: once the disk recovers, it still hits
+        monkeypatch.setattr(builtins, "open", real_open)
+        assert diskstore.load("tower", key) == "a healthy value"
+
+    def test_load_corruption_heals_and_counts(self, store):
+        key = diskstore.content_hash("torn")
+        path = diskstore.store("tower", key, "soon torn")
+        with open(path, "wb") as fh:
+            fh.write(b"definitely not a pickle")
+        with tracing() as rec:
+            before = rec.counters.get("diskstore.tower.corrupt", 0)
+            assert diskstore.load("tower", key) is None
+            assert (
+                rec.counters.get("diskstore.tower.corrupt", 0) == before + 1
+            )
+        # healed: the torn entry is gone, a rewrite round-trips
+        assert not os.path.exists(path)
+        diskstore.store("tower", key, "fresh value")
+        assert diskstore.load("tower", key) == "fresh value"
+
+    def test_load_programming_errors_propagate(self, store, monkeypatch):
+        import pickle as pickle_mod
+
+        key = diskstore.content_hash("buggy-load")
+        diskstore.store("tower", key, "value")
+
+        def broken(fh):
+            raise KeyError("a bug in a __setstate__ hook")
+
+        monkeypatch.setattr(pickle_mod, "load", broken)
+        with pytest.raises(KeyError, match="__setstate__"):
+            diskstore.load("tower", key)
+
+    def test_store_io_error_warns_counts_and_returns_none(
+        self, store, monkeypatch
+    ):
+        key = diskstore.content_hash("unwritable")
+
+        def full_disk(src, dst):
+            raise OSError(28, "no space left on device", dst)
+
+        monkeypatch.setattr(os, "replace", full_disk)
+        with tracing() as rec:
+            before = rec.counters.get("diskstore.tower.io_error", 0)
+            with pytest.warns(RuntimeWarning, match="cannot write"):
+                assert diskstore.store("tower", key, "value") is None
+            assert (
+                rec.counters.get("diskstore.tower.io_error", 0) == before + 1
+            )
+        # the failed write left no temp litter behind
+        assert not glob.glob(os.path.join(store, "tower", "*", "*.tmp"))
+
+    def test_store_unpicklable_counts(self, store):
+        key = diskstore.content_hash("unpicklable")
+        with tracing() as rec:
+            before = rec.counters.get("diskstore.tower.unpicklable", 0)
+            assert diskstore.store("tower", key, lambda: None) is None
+            assert (
+                rec.counters.get("diskstore.tower.unpicklable", 0)
+                == before + 1
+            )
+
+    def test_store_programming_errors_propagate_and_clean_up(
+        self, store, monkeypatch
+    ):
+        import pickle as pickle_mod
+
+        key = diskstore.content_hash("buggy-store")
+
+        def broken(obj, fh, protocol=None):
+            raise KeyError("a bug in a __reduce__ hook")
+
+        monkeypatch.setattr(pickle_mod, "dump", broken)
+        with pytest.raises(KeyError, match="__reduce__"):
+            diskstore.store("tower", key, "value")
+        assert not glob.glob(os.path.join(store, "tower", "*", "*.tmp"))
