@@ -124,6 +124,50 @@ def _walk(span_dict):
         yield from _walk(child)
 
 
+def _spin_histogram(hist, n: int) -> int:
+    """The /metrics hot path, n times: one bounded-bucket record."""
+    for i in range(n):
+        hist.record(0.0001 * (1 + (i & 7)))
+    return n
+
+
+def _spin_registry(registry, n: int) -> int:
+    """The server's per-request pattern: labelled lookup + record."""
+    for _ in range(n):
+        registry.histogram("request_latency_seconds", op="decide").record(0.001)
+    return n
+
+
+def test_live_metrics_hot_path(report, smoke):
+    """Per-request cost of /metrics being on: a locked dict increment.
+
+    Two shapes: a bare histogram record (the soak load workers' path)
+    and the server's full labelled-registry lookup + record.  Both must
+    stay in the sub-microsecond regime that makes instrumenting every
+    HTTP request a non-decision.
+    """
+    from repro.obs import LatencyHistogram, MetricsRegistry
+
+    n = 10_000 if smoke else 200_000
+    hist = LatencyHistogram()
+    _, m_hist = _HARNESS.measure(
+        "metrics:histogram_record", _spin_histogram, hist, n, repeat=3,
+        meta={"n": n},
+    )
+    registry = MetricsRegistry()
+    _, m_reg = _HARNESS.measure(
+        "metrics:registry_record", _spin_registry, registry, n, repeat=3,
+        meta={"n": n},
+    )
+    assert hist.count >= n  # the work really happened
+    for m, label in ((m_hist, "histogram_record"), (m_reg, "registry_record")):
+        ns_per_record = m.best / n * 1e9
+        m.counters["ns_per_record"] = ns_per_record
+        report.row(
+            workload=f"metrics:{label}", n=n, ns_per_record=round(ns_per_record, 1)
+        )
+
+
 def test_emit_report(report, smoke, tmp_path):
     assert _HARNESS.measurements, "workload benches must run before emission"
     payload = _HARNESS.write(str(tmp_path / "BENCH_obs.json"))

@@ -28,11 +28,17 @@ Commands
 ``serve``
     Run the solvability verdict server: an asyncio HTTP frontend over a
     content-addressed verdict cache and a batched worker pool
-    (``POST /v1/solve``; see ``docs/service.md``).
+    (``POST /v1/solve``, ``GET /metrics`` Prometheus/JSON exposition,
+    ``--access-log`` structured JSONL; see ``docs/service.md``).
 ``serve-bench``
     Replay zipf-skewed duplicate-heavy load against the server (an
     in-process one by default, ``--url`` for an external one) and emit
     a ``repro-perf/1`` report with hit-rate/p50/p99 numbers.
+``serve-soak``
+    Sustain zipf load for ``--duration`` seconds while scraping
+    ``/metrics``, fit post-warmup growth slopes for RSS/keymap/cache,
+    and exit 1 when any declared ``--max-*-growth`` budget is exceeded;
+    emits an ingestable ``repro-soak/1`` report.
 ``trace``
     Work with ``repro-trace/1`` JSON exports produced by ``--trace``:
     ``trace summary`` pretty-prints the span tree and aggregate counters
@@ -465,6 +471,8 @@ def cmd_serve(args) -> int:
         workers=args.workers,
         pool=args.pool,
         persist=not args.no_persist,
+        access_log=args.access_log,
+        sample_interval=args.sample_interval,
     )
     server = SolvabilityServer(config)
 
@@ -521,6 +529,55 @@ def cmd_serve_bench(args) -> int:
     for problem in problems:
         print(f"GATE: {problem}", file=sys.stderr)
     return 1 if problems else 0
+
+
+def cmd_serve_soak(args) -> int:
+    import json as _json
+
+    from .service import soak as service_soak
+    from .service.server import ServerConfig
+
+    config = ServerConfig(
+        shards=args.shards,
+        batch_size=args.batch_size,
+        workers=args.workers,
+        pool=args.pool,
+        persist=not args.no_persist,
+        access_log=args.access_log,
+        sample_interval=args.sample_interval,
+    )
+    budgets = service_soak.SoakBudgets(
+        rss_bytes_per_s=args.max_rss_growth,
+        keymap_entries_per_s=args.max_keymap_growth,
+        cache_entries_per_s=args.max_cache_growth,
+    )
+    with _tracing_to(args, "serve-soak"):
+        try:
+            report = service_soak.run_soak(
+                duration=args.duration,
+                concurrency=args.concurrency,
+                requests=args.requests,
+                pool_size=args.pool_size,
+                skew=args.zipf,
+                seed=args.seed,
+                scrape_interval=args.scrape_interval,
+                warmup_fraction=args.warmup_fraction,
+                budgets=budgets,
+                url=args.url,
+                server_config=config,
+                scrapes_path=args.scrapes_out,
+            )
+        except (OSError, ValueError) as exc:
+            raise SystemExit(str(exc)) from exc
+    print(service_soak.format_soak_summary(report))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            _json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    for problem in report["over_budget"]:
+        print(f"GATE: {problem}", file=sys.stderr)
+    return 0 if report["passed"] else 1
 
 
 def cmd_census(args) -> int:
@@ -952,6 +1009,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="keep the verdict cache in memory only (skip the diskstore)",
     )
+    p.add_argument(
+        "--access-log",
+        metavar="FILE",
+        help="append one structured JSONL line per completed request",
+    )
+    p.add_argument(
+        "--sample-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="resource sampler period feeding /metrics time series "
+        "(default 1.0)",
+    )
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
@@ -1043,6 +1113,132 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_observability_args(p)
     p.set_defaults(fn=cmd_serve_bench)
+
+    p = sub.add_parser(
+        "serve-soak",
+        help="sustained zipf load with /metrics scraping and growth-slope "
+        "budgets; exits 1 on over-budget growth (docs/service.md)",
+    )
+    p.add_argument(
+        "--duration",
+        type=float,
+        default=20.0,
+        metavar="SECONDS",
+        help="how long to sustain the load (default 20; nightly runs use "
+        "hours)",
+    )
+    p.add_argument(
+        "--concurrency",
+        type=int,
+        default=4,
+        help="client worker threads cycling the stream (default 4)",
+    )
+    p.add_argument(
+        "--requests",
+        type=int,
+        default=200,
+        help="length of the cycled request stream (default 200)",
+    )
+    p.add_argument(
+        "--pool-size",
+        type=int,
+        default=6,
+        help="distinct specs in the generated workload (default 6)",
+    )
+    p.add_argument(
+        "--zipf",
+        type=float,
+        default=1.2,
+        help="zipf skew of the generated workload (default 1.2)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    p.add_argument(
+        "--scrape-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="how often to scrape /metrics during the run (default 2.0)",
+    )
+    p.add_argument(
+        "--warmup-fraction",
+        type=float,
+        default=0.25,
+        metavar="FRAC",
+        help="initial fraction of the run excluded from slope fits "
+        "(default 0.25)",
+    )
+    p.add_argument(
+        "--max-rss-growth",
+        type=float,
+        default=None,
+        metavar="BYTES_PER_S",
+        help="exit 1 if post-warmup RSS grows faster than this",
+    )
+    p.add_argument(
+        "--max-keymap-growth",
+        type=float,
+        default=None,
+        metavar="ENTRIES_PER_S",
+        help="exit 1 if the keymap grows faster than this",
+    )
+    p.add_argument(
+        "--max-cache-growth",
+        type=float,
+        default=None,
+        metavar="ENTRIES_PER_S",
+        help="exit 1 if the memory cache grows faster than this",
+    )
+    p.add_argument(
+        "--url",
+        metavar="URL",
+        help="soak an already-running server instead of starting one "
+        "in-process",
+    )
+    p.add_argument(
+        "--out",
+        metavar="FILE",
+        help="write the repro-soak/1 report (ingestable via `repro obs "
+        "ingest`)",
+    )
+    p.add_argument(
+        "--scrapes-out",
+        metavar="FILE",
+        help="append every /metrics scrape as one JSONL line",
+    )
+    p.add_argument(
+        "--access-log",
+        metavar="FILE",
+        help="in-process server: structured JSONL access log",
+    )
+    p.add_argument(
+        "--sample-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="in-process server: resource sampler period (default 1.0)",
+    )
+    p.add_argument(
+        "--shards", type=int, default=2, help="in-process server: shards"
+    )
+    p.add_argument(
+        "--batch-size", type=int, default=8, help="in-process server: batch size"
+    )
+    p.add_argument(
+        "--workers", type=int, default=1, help="in-process server: pool size"
+    )
+    p.add_argument(
+        "--pool",
+        choices=["thread", "process", "inline"],
+        default="thread",
+        help="in-process server: pool kind",
+    )
+    p.add_argument(
+        "--no-persist",
+        action="store_true",
+        help="in-process server: memory-only verdict cache",
+    )
+    _add_observability_args(p)
+    p.set_defaults(fn=cmd_serve_soak)
 
     p = sub.add_parser("census", help="decide a random-task population")
     p.add_argument("--seeds", type=int, default=20)

@@ -32,6 +32,18 @@ call site while disabled (same pattern as
 """
 
 from .export import SCHEMA, build_trace, validate_trace, write_trace
+from .metrics import (
+    SCHEMA as METRICS_SCHEMA,
+)
+from .metrics import (
+    LatencyHistogram,
+    MetricsRegistry,
+    RateMeter,
+    build_metrics,
+    parse_prometheus_text,
+    prometheus_text,
+    validate_metrics,
+)
 from .profile import (
     chrome_trace,
     folded_stacks,
@@ -74,8 +86,10 @@ from .store import (
     load_record_file,
     load_store,
     resolve_store_path,
+    soak_run_record,
     validate_run_record,
 )
+from .sampler import ResourceSampler, fit_slope, read_rss_bytes, series_slopes
 from .summary import format_trace_summary
 from .trend import (
     Delta,
@@ -90,8 +104,13 @@ __all__ = [
     "DEFAULT_GAUGE_POLICY",
     "Delta",
     "GAUGE_POLICIES",
+    "LatencyHistogram",
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
     "RUN_SCHEMA",
+    "RateMeter",
     "Recorder",
+    "ResourceSampler",
     "SCHEMA",
     "SpanRecord",
     "Thresholds",
@@ -99,6 +118,7 @@ __all__ = [
     "annotate",
     "append_run",
     "bench_run_record",
+    "build_metrics",
     "build_run_record",
     "build_trace",
     "capture_worker",
@@ -106,6 +126,7 @@ __all__ = [
     "counter_add",
     "diff_records",
     "find_run",
+    "fit_slope",
     "folded_stacks",
     "format_diff",
     "format_profile",
@@ -120,15 +141,21 @@ __all__ = [
     "merge_cache_maps",
     "merge_gauge_maps",
     "merge_worker_snapshot",
+    "parse_prometheus_text",
+    "prometheus_text",
+    "read_rss_bytes",
     "regressions",
     "reset_recorder",
     "resolve_store_path",
+    "series_slopes",
     "set_gauge_policy",
     "set_memory_profiling",
     "set_tracing",
+    "soak_run_record",
     "span",
     "tracing",
     "tracing_enabled",
+    "validate_metrics",
     "validate_run_record",
     "validate_trace",
     "write_chrome_trace",

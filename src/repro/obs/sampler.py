@@ -1,0 +1,208 @@
+"""Background resource sampling for long-running processes.
+
+A soak run's central question — "does memory/keymap/cache growth
+flatten out or climb forever?" — needs *time series*, not two
+endpoints: a pair of before/after numbers cannot distinguish a warmup
+transient from a leak.  :class:`ResourceSampler` runs a daemon thread
+that periodically reads a set of named sources (RSS, cache entry
+counts, keymap size — any zero-arg callable returning a number) into a
+bounded in-memory ring, exported as ``{"samples": [{"t", "values"}]}``
+time series inside ``repro-metrics/1`` snapshots.
+
+:func:`fit_slope` turns one series into a per-second growth rate by
+ordinary least squares — the statistic the soak harness gates on.  A
+least-squares slope over the post-warmup window is deliberately crude
+but robust: it ignores sawtooth allocator noise that a max-minus-min
+estimate would mistake for growth.
+
+Everything here is stdlib-only and injectable (clock, sources,
+interval) so tests drive :meth:`ResourceSampler.sample_once`
+deterministically without sleeping.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "ResourceSampler",
+    "fit_slope",
+    "read_rss_bytes",
+    "series_slopes",
+]
+
+
+def read_rss_bytes() -> float:
+    """Resident set size in bytes.
+
+    Prefers ``/proc/self/statm`` (instantaneous, Linux); falls back to
+    ``resource.getrusage`` peak RSS elsewhere.  A peak is a worse
+    leak-detector than an instantaneous read (it never decreases), but
+    its slope still bounds growth from above, so the gate stays sound.
+    """
+    try:
+        with open("/proc/self/statm") as fh:
+            resident_pages = int(fh.read().split()[1])
+        return float(resident_pages * os.sysconf("SC_PAGE_SIZE"))
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is KiB on Linux, bytes on macOS
+        return float(peak * 1024 if os.uname().sysname == "Linux" else peak)
+    except Exception:
+        return 0.0
+
+
+class ResourceSampler:
+    """Periodic reader of named numeric sources into a bounded ring.
+
+    ``sources`` maps series names to zero-arg callables.  A source that
+    raises contributes nothing to that sample (the others still record)
+    — a transiently broken gauge must not kill the sampler thread.
+    """
+
+    def __init__(
+        self,
+        sources: Dict[str, Callable[[], float]],
+        interval: float = 1.0,
+        capacity: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._sources = dict(sources)
+        self.interval = float(interval)
+        self._clock = clock
+        self._started = clock()
+        self._lock = threading.Lock()
+        self._ring: Deque[Tuple[float, Dict[str, float]]] = deque(maxlen=capacity)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- sampling ----------------------------------------------------------
+
+    def sample_once(self, at: Optional[float] = None) -> Dict[str, float]:
+        """Read every source now; returns the recorded values.
+
+        The deterministic entry point: tests call this directly with an
+        explicit ``at`` timestamp instead of running the thread.
+        """
+        values: Dict[str, float] = {}
+        for name, fn in self._sources.items():
+            try:
+                values[name] = float(fn())
+            except Exception:
+                continue
+        t = (self._clock() if at is None else at) - self._started
+        with self._lock:
+            self._ring.append((t, values))
+        return values
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.sample_once()
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("sampler already started")
+        self.sample_once()  # t=0 anchor so slopes have a left endpoint
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-resource-sampler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=max(2.0, self.interval * 2))
+        self._thread = None
+        self.sample_once()  # right endpoint
+
+    def __enter__(self) -> "ResourceSampler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # -- export ------------------------------------------------------------
+
+    def series(self) -> Dict[str, Any]:
+        """The ring as a ``repro-metrics/1`` ``resources`` section."""
+        with self._lock:
+            samples = [{"t": t, "values": dict(values)} for t, values in self._ring]
+        return {
+            "interval_seconds": self.interval,
+            "names": sorted(self._sources),
+            "samples": samples,
+        }
+
+    def points(self, name: str) -> List[Tuple[float, float]]:
+        """One series as ``(t, value)`` pairs (samples missing it skip)."""
+        with self._lock:
+            return [
+                (t, values[name]) for t, values in self._ring if name in values
+            ]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+
+def fit_slope(points: Sequence[Tuple[float, float]]) -> float:
+    """Ordinary least-squares slope of ``(t, value)`` pairs, per second.
+
+    Returns 0.0 for fewer than two points or a degenerate (zero
+    time-variance) series — "no evidence of growth" is the right
+    reading of "no data", since the soak gate treats a positive slope
+    as the failure signal.
+    """
+    n = len(points)
+    if n < 2:
+        return 0.0
+    mean_t = sum(t for t, _ in points) / n
+    mean_v = sum(v for _, v in points) / n
+    var_t = sum((t - mean_t) ** 2 for t, _ in points)
+    if var_t <= 0.0:
+        return 0.0
+    cov = sum((t - mean_t) * (v - mean_v) for t, v in points)
+    return cov / var_t
+
+
+def series_slopes(
+    resources: Dict[str, Any], warmup_fraction: float = 0.25
+) -> Dict[str, float]:
+    """Per-second growth slopes for every series in one export.
+
+    The first ``warmup_fraction`` of the observed time span is
+    excluded: caches filling and allocators reserving arenas during
+    warmup is expected, steady-state growth is the leak signal.
+    """
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError(
+            f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
+        )
+    samples = resources.get("samples") or []
+    if not samples:
+        return {}
+    t_min = min(s["t"] for s in samples)
+    t_max = max(s["t"] for s in samples)
+    cutoff = t_min + (t_max - t_min) * warmup_fraction
+    by_name: Dict[str, List[Tuple[float, float]]] = {}
+    for sample in samples:
+        if sample["t"] < cutoff:
+            continue
+        for name, value in sample.get("values", {}).items():
+            by_name.setdefault(name, []).append((sample["t"], float(value)))
+    return {name: fit_slope(points) for name, points in sorted(by_name.items())}

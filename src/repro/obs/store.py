@@ -177,6 +177,70 @@ def bench_run_record(
     return record
 
 
+def soak_run_record(
+    report: Dict[str, Any], source: Optional[str] = None
+) -> Dict[str, Any]:
+    """Convert one ``repro-soak/1`` soak report into a run record.
+
+    The run becomes a single ``serve-soak`` span (wall = soak duration),
+    traffic totals land as counters, and the growth slopes/budget
+    verdicts become gauges — so ``obs trend`` charts leak slopes across
+    commits and ``obs diff`` can gate on them like any other metric.
+    The report's latency histogram rides along under a ``histograms``
+    key that ``repro-run/1`` validation ignores and trend/diff skip
+    (their forward-compat contract for unknown metric kinds).
+
+    A pure dict transform (no service import): the obs layer must not
+    depend back on :mod:`repro.service`.
+    """
+    duration = float(report.get("duration_seconds", 0.0))
+    counters = {
+        "soak.requests": float(report.get("requests", 0)),
+        "soak.ok": float(report.get("ok", 0)),
+        "soak.errors": float(report.get("errors", 0)),
+        "soak.scrapes": float(report.get("scrapes", 0)),
+        "soak.scrape_failures": float(report.get("scrape_failures", 0)),
+    }
+    gauges: Dict[str, float] = {
+        "soak.hit_rate": float(report.get("hit_rate", 0.0)),
+        "soak.throughput_rps": float(report.get("throughput_rps", 0.0)),
+        "soak.passed": 1.0 if report.get("passed") else 0.0,
+        "soak.p50_ms": float(report.get("latency_ms", {}).get("p50", 0.0)),
+        "soak.p99_ms": float(report.get("latency_ms", {}).get("p99", 0.0)),
+    }
+    for series, slope in (report.get("slopes") or {}).items():
+        gauges[f"soak.slope.{series}"] = float(slope)
+    record = {
+        "schema": SCHEMA,
+        "created_unix": float(report.get("created_unix") or time.time()),
+        "command": "serve-soak",
+        "argv": [],
+        "task": None,
+        "git_sha": git_sha(),
+        "host": host_fingerprint(),
+        "spans": {
+            "serve-soak": {
+                "wall_seconds": duration,
+                "cpu_seconds": duration,
+                "count": 1,
+            }
+        },
+        "counters": counters,
+        "gauges": gauges,
+        "cache": {},
+        "meta": {
+            "source": source,
+            "budgets": dict(report.get("budgets") or {}),
+            "over_budget": list(report.get("over_budget") or []),
+        },
+        # deliberately outside the validated vocabulary: exercises the
+        # unknown-section tolerance downstream consumers must keep
+        "histograms": [dict(report.get("latency") or {}, name="soak_latency")],
+    }
+    record["run_id"] = _run_id(record)
+    return record
+
+
 def validate_run_record(record: Any) -> List[str]:
     """Check one record against ``repro-run/1``; returns problems.
 
@@ -318,13 +382,16 @@ def load_store(
 def load_record_file(path: str) -> Dict[str, Any]:
     """Read one standalone record file (e.g. a committed baseline).
 
-    Accepts either a single ``repro-run/1`` JSON object or a
-    ``repro-perf/1`` bench report (converted via :func:`bench_run_record`).
+    Accepts a single ``repro-run/1`` JSON object, a ``repro-perf/1``
+    bench report (converted via :func:`bench_run_record`), or a
+    ``repro-soak/1`` soak report (converted via :func:`soak_run_record`).
     """
     with open(path, "r", encoding="utf-8") as fh:
         payload = json.load(fh)
     if isinstance(payload, dict) and payload.get("schema") == "repro-perf/1":
         payload = bench_run_record(payload, source=path)
+    elif isinstance(payload, dict) and payload.get("schema") == "repro-soak/1":
+        payload = soak_run_record(payload, source=path)
     errors = validate_run_record(payload)
     if errors:
         raise ValueError(f"{path}: invalid run record: {errors}")
@@ -381,5 +448,6 @@ __all__ = [
     "load_record_file",
     "load_store",
     "resolve_store_path",
+    "soak_run_record",
     "validate_run_record",
 ]

@@ -28,6 +28,15 @@ The threshold model (:class:`Thresholds`):
 
 Metrics present on only one side classify as ``new`` / ``gone`` and
 never gate — a renamed span must not masquerade as a perf win.
+
+**Forward compatibility:** newer producers put richer entries into run
+records — ``repro-soak/1`` ingestion attaches histogram payloads, and
+future metric kinds will add shapes this module has never seen.  Both
+:func:`diff_records` and :func:`format_trend` therefore *skip* any
+entry they don't recognize (a span without a numeric ``wall_seconds``,
+a non-numeric counter/gauge, a cache entry without ``hit_rate``, an
+unknown top-level section) instead of raising: an old CLI reading a
+newer store must keep rendering and gating what it understands.
 """
 
 from __future__ import annotations
@@ -144,6 +153,27 @@ def _presence(kind: str, name: str, before, after) -> Delta:
     return Delta(kind, name, before, None, "gone", "not in the new run")
 
 
+def _number(value: Any) -> Optional[float]:
+    """A plain number, or ``None`` for any shape this module predates."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def _span_wall(entry: Any) -> Optional[float]:
+    """A span entry's wall seconds, or ``None`` for an unknown kind."""
+    if not isinstance(entry, dict):
+        return None
+    return _number(entry.get("wall_seconds"))
+
+
+def _cache_rate(stats: Any) -> Optional[float]:
+    """A cache entry's hit rate, or ``None`` for an unknown kind."""
+    if not isinstance(stats, dict):
+        return None
+    return _number(stats.get("hit_rate"))
+
+
 def diff_records(
     before: Dict[str, Any],
     after: Dict[str, Any],
@@ -159,76 +189,72 @@ def diff_records(
     t = thresholds or Thresholds()
     deltas: List[Delta] = []
 
-    b_spans, a_spans = before.get("spans", {}), after.get("spans", {})
+    # Sections that aren't dicts (or are missing) read as empty, and any
+    # *entry* whose shape this module doesn't recognize — a span without
+    # numeric wall_seconds, a histogram smuggled into a counter slot — is
+    # skipped on both sides rather than raised on or mis-gated: an entry
+    # present-but-unreadable must not classify as new/gone either, since
+    # downgrade-then-upgrade would then flap every unknown metric.
+    def section(record: Dict[str, Any], key: str) -> Dict[str, Any]:
+        value = record.get(key)
+        return value if isinstance(value, dict) else {}
+
+    b_spans, a_spans = section(before, "spans"), section(after, "spans")
     for name in sorted(set(b_spans) | set(a_spans)):
+        b_wall = _span_wall(b_spans[name]) if name in b_spans else None
+        a_wall = _span_wall(a_spans[name]) if name in a_spans else None
+        if (name in b_spans and b_wall is None) or (
+            name in a_spans and a_wall is None
+        ):
+            continue  # unrecognized span kind
         if name not in b_spans or name not in a_spans:
-            deltas.append(
-                _presence(
-                    "span",
-                    name,
-                    b_spans.get(name, {}).get("wall_seconds"),
-                    a_spans.get(name, {}).get("wall_seconds"),
-                )
-            )
+            deltas.append(_presence("span", name, b_wall, a_wall))
             continue
-        deltas.append(
-            _span_delta(
-                name,
-                float(b_spans[name]["wall_seconds"]),
-                float(a_spans[name]["wall_seconds"]),
-                t,
-            )
-        )
+        assert b_wall is not None and a_wall is not None
+        deltas.append(_span_delta(name, b_wall, a_wall, t))
 
-    b_counters, a_counters = before.get("counters", {}), after.get("counters", {})
+    b_counters, a_counters = section(before, "counters"), section(after, "counters")
     for name in sorted(set(b_counters) | set(a_counters)):
+        b_val = _number(b_counters[name]) if name in b_counters else None
+        a_val = _number(a_counters[name]) if name in a_counters else None
+        if (name in b_counters and b_val is None) or (
+            name in a_counters and a_val is None
+        ):
+            continue  # unrecognized counter kind
         if name not in b_counters or name not in a_counters:
-            deltas.append(
-                _presence("counter", name, b_counters.get(name), a_counters.get(name))
-            )
+            deltas.append(_presence("counter", name, b_val, a_val))
             continue
-        deltas.append(
-            _counter_delta(name, float(b_counters[name]), float(a_counters[name]), t)
-        )
+        assert b_val is not None and a_val is not None
+        deltas.append(_counter_delta(name, b_val, a_val, t))
 
-    b_gauges, a_gauges = before.get("gauges", {}), after.get("gauges", {})
+    b_gauges, a_gauges = section(before, "gauges"), section(after, "gauges")
     for name in sorted(set(b_gauges) | set(a_gauges)):
+        b_val = _number(b_gauges[name]) if name in b_gauges else None
+        a_val = _number(a_gauges[name]) if name in a_gauges else None
+        if (name in b_gauges and b_val is None) or (
+            name in a_gauges and a_val is None
+        ):
+            continue  # unrecognized gauge kind
         if name not in b_gauges or name not in a_gauges:
-            deltas.append(
-                _presence("gauge", name, b_gauges.get(name), a_gauges.get(name))
-            )
+            deltas.append(_presence("gauge", name, b_val, a_val))
             continue
         deltas.append(
-            Delta(
-                "gauge",
-                name,
-                float(b_gauges[name]),
-                float(a_gauges[name]),
-                "ok",
-                "informational",
-            )
+            Delta("gauge", name, b_val, a_val, "ok", "informational")
         )
 
-    b_cache, a_cache = before.get("cache", {}), after.get("cache", {})
+    b_cache, a_cache = section(before, "cache"), section(after, "cache")
     for query in sorted(set(b_cache) | set(a_cache)):
+        b_rate = _cache_rate(b_cache[query]) if query in b_cache else None
+        a_rate = _cache_rate(a_cache[query]) if query in a_cache else None
+        if (query in b_cache and b_rate is None) or (
+            query in a_cache and a_rate is None
+        ):
+            continue  # unrecognized cache-entry kind
         if query not in b_cache or query not in a_cache:
-            deltas.append(
-                _presence(
-                    "cache",
-                    f"{query}.hit_rate",
-                    (b_cache.get(query) or {}).get("hit_rate"),
-                    (a_cache.get(query) or {}).get("hit_rate"),
-                )
-            )
+            deltas.append(_presence("cache", f"{query}.hit_rate", b_rate, a_rate))
             continue
-        deltas.append(
-            _cache_delta(
-                f"{query}.hit_rate",
-                float(b_cache[query]["hit_rate"]),
-                float(a_cache[query]["hit_rate"]),
-                t,
-            )
-        )
+        assert b_rate is not None and a_rate is not None
+        deltas.append(_cache_delta(f"{query}.hit_rate", b_rate, a_rate, t))
     return deltas
 
 
@@ -292,15 +318,30 @@ def _metric_series(records: List[Dict[str, Any]]) -> Dict[str, List[Optional[flo
             keys.append(key)
         return series[key]
 
+    def section(record: Dict[str, Any], key: str) -> Dict[str, Any]:
+        value = record.get(key)
+        return value if isinstance(value, dict) else {}
+
+    # Unrecognized entry shapes are skipped (left None for that run)
+    # rather than raised on — see the module docstring on forward
+    # compatibility with future record kinds.
     for i, record in enumerate(records):
-        for name, entry in record.get("spans", {}).items():
-            touch(f"span {name}.wall_seconds")[i] = float(entry["wall_seconds"])
-        for name, value in record.get("counters", {}).items():
-            touch(f"counter {name}")[i] = float(value)
-        for name, value in record.get("gauges", {}).items():
-            touch(f"gauge {name}")[i] = float(value)
-        for query, stats in record.get("cache", {}).items():
-            touch(f"cache {query}.hit_rate")[i] = float(stats["hit_rate"])
+        for name, entry in section(record, "spans").items():
+            wall = _span_wall(entry)
+            if wall is not None:
+                touch(f"span {name}.wall_seconds")[i] = wall
+        for name, value in section(record, "counters").items():
+            num = _number(value)
+            if num is not None:
+                touch(f"counter {name}")[i] = num
+        for name, value in section(record, "gauges").items():
+            num = _number(value)
+            if num is not None:
+                touch(f"gauge {name}")[i] = num
+        for query, stats in section(record, "cache").items():
+            rate = _cache_rate(stats)
+            if rate is not None:
+                touch(f"cache {query}.hit_rate")[i] = rate
     return {key: series[key] for key in keys}
 
 

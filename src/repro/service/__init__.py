@@ -23,7 +23,13 @@ is the long-running layer that makes that true:
 * :mod:`repro.service.client` — the blocking client and the zipf-skewed
   load generator behind ``repro serve-bench``;
 * :mod:`repro.service.bench` — the duplicate-heavy load benchmark that
-  emits ``benchmarks/BENCH_service.json`` (``repro-perf/1``).
+  emits ``benchmarks/BENCH_service.json`` (``repro-perf/1``);
+* :mod:`repro.service.accesslog` — structured JSONL access logging, one
+  line per completed request, joinable to trace spans by request id;
+* :mod:`repro.service.soak` — the sustained-load soak harness behind
+  ``repro serve-soak``: scrapes ``/metrics`` throughout, fits growth
+  slopes for RSS/keymap/cache entries and gates them against budgets
+  (``repro-soak/1``).
 
 Only :mod:`~repro.service.keys` is imported eagerly: lower layers
 (:mod:`repro.topology.diskstore`, :mod:`repro.obs.store`) import it for
@@ -39,6 +45,7 @@ from .keys import canonical_dumps, content_hash, json_hash, record_id
 
 #: submodules resolved lazily via module ``__getattr__`` (PEP 562)
 _SUBMODULES = (
+    "accesslog",
     "batch",
     "bench",
     "cache",
@@ -47,6 +54,7 @@ _SUBMODULES = (
     "keys",
     "protocol",
     "server",
+    "soak",
     "workers",
 )
 

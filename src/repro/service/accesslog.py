@@ -1,0 +1,154 @@
+"""Structured JSONL access logging for the verdict server.
+
+One line per completed HTTP request, machine-first: every field the
+latency histograms aggregate away survives here at full resolution, so
+"why was *that* request slow?" is answerable after the fact.  The line
+carries the request id that also rides into the worker span tree
+(``service.batch`` gets it as a span attribute), making access-log
+lines joinable to trace spans — the pivot the observability docs call
+the log/trace join.
+
+Line shape (all keys always present; ``null`` where not applicable,
+e.g. ``op`` on ``/healthz`` or batch fields on a cache hit)::
+
+    {"t": <unix seconds>, "request_id": "...", "method": "POST",
+     "path": "/v1/solve", "status": 200, "ok": true, "latency_ms": 1.9,
+     "op": "decide", "key_prefix": "ab12...", "cache_tier": "memory",
+     "coalesced": false, "queue_wait_ms": null, "batch_size": null}
+
+Writes are line-buffered under a lock (the asyncio server writes from
+one loop, but ``ServerThread`` tests and the sampler thread may read
+stats concurrently) and flushed per line so a killed soak run keeps
+every completed request.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["ACCESS_LOG_FIELDS", "AccessLog", "read_access_log", "validate_access_line"]
+
+#: every key an access-log line carries, in emission order
+ACCESS_LOG_FIELDS = (
+    "t",
+    "request_id",
+    "method",
+    "path",
+    "status",
+    "ok",
+    "latency_ms",
+    "op",
+    "key_prefix",
+    "cache_tier",
+    "coalesced",
+    "queue_wait_ms",
+    "batch_size",
+)
+
+#: fields that must be present and non-null on every line
+_REQUIRED_NON_NULL = ("t", "request_id", "method", "path", "status", "ok", "latency_ms")
+
+
+class AccessLog:
+    """Append-only JSONL writer with per-line flush."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._fh = open(path, "a", encoding="utf-8")
+        self.lines_written = 0
+
+    def write(
+        self,
+        *,
+        request_id: str,
+        method: str,
+        path: str,
+        status: int,
+        latency_seconds: float,
+        op: Optional[str] = None,
+        key_prefix: Optional[str] = None,
+        cache_tier: Optional[str] = None,
+        coalesced: Optional[bool] = None,
+        queue_wait_seconds: Optional[float] = None,
+        batch_size: Optional[int] = None,
+    ) -> None:
+        line = {
+            "t": time.time(),
+            "request_id": request_id,
+            "method": method,
+            "path": path,
+            "status": status,
+            "ok": status < 400,
+            "latency_ms": latency_seconds * 1000.0,
+            "op": op,
+            "key_prefix": key_prefix,
+            "cache_tier": cache_tier,
+            "coalesced": coalesced,
+            "queue_wait_ms": (
+                None if queue_wait_seconds is None else queue_wait_seconds * 1000.0
+            ),
+            "batch_size": batch_size,
+        }
+        text = json.dumps(line, sort_keys=True)
+        with self._lock:
+            self._fh.write(text + "\n")
+            self._fh.flush()
+            self.lines_written += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+    def __enter__(self) -> "AccessLog":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def validate_access_line(line: Any) -> List[str]:
+    """Problems with one parsed access-log line (empty list = valid)."""
+    if not isinstance(line, dict):
+        return ["access-log line must be an object"]
+    errors = [
+        f"missing field {field!r}"
+        for field in ACCESS_LOG_FIELDS
+        if field not in line
+    ]
+    for field in _REQUIRED_NON_NULL:
+        if field in line and line[field] is None:
+            errors.append(f"field {field!r} must not be null")
+    if isinstance(line.get("status"), bool) or not isinstance(
+        line.get("status"), int
+    ):
+        errors.append("status must be an integer")
+    if not isinstance(line.get("latency_ms"), (int, float)):
+        errors.append("latency_ms must be a number")
+    return errors
+
+
+def read_access_log(path: str, strict: bool = True) -> List[Dict[str, Any]]:
+    """Parse a JSONL access log; ``strict`` raises on any invalid line."""
+    lines: List[Dict[str, Any]] = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                line = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                if strict:
+                    raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from None
+                continue
+            problems = validate_access_line(line)
+            if problems and strict:
+                raise ValueError(f"{path}:{lineno}: {problems}")
+            if not problems:
+                lines.append(line)
+    return lines

@@ -22,6 +22,8 @@ policy: a high-water mark) and every dispatch counts
 from __future__ import annotations
 
 import asyncio
+import time
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..obs import counter_add, gauge_set
@@ -31,8 +33,29 @@ from .protocol import make_response
 #: sentinel that tells a shard dispatcher to exit
 _SHUTDOWN = object()
 
-#: one queued unit of work: (key, raw payload, future to resolve)
-_Item = Tuple[str, Dict[str, Any], "asyncio.Future[Dict[str, Any]]"]
+#: one queued unit of work:
+#: (key, raw payload, future to resolve, enqueue time, shared SubmitInfo)
+_Item = Tuple[
+    str,
+    Dict[str, Any],
+    "asyncio.Future[Dict[str, Any]]",
+    float,
+    "SubmitInfo",
+]
+
+
+@dataclass
+class SubmitInfo:
+    """Per-request dispatch facts the access log records.
+
+    Filled in by the dispatcher at batch-formation time; a coalesced
+    submit shares the original item's info object, so every waiter on
+    one in-flight key reports the same queue wait and batch size.
+    """
+
+    coalesced: bool = False
+    queue_wait_seconds: Optional[float] = None
+    batch_size: Optional[int] = None
 
 
 def shard_of(key: str, shards: int) -> int:
@@ -63,7 +86,7 @@ class BatchQueue:
         self._memo = cache
         self._queues: List[asyncio.Queue] = []
         self._tasks: List[asyncio.Task] = []
-        self._pending: Dict[str, asyncio.Future] = {}
+        self._pending: Dict[str, Tuple[asyncio.Future, SubmitInfo]] = {}
         self.dispatched_batches = 0
         self.dispatched_requests = 0
         self.coalesced = 0
@@ -93,25 +116,43 @@ class BatchQueue:
         return sum(q.qsize() for q in self._queues)
 
     async def submit(self, key: str, payload: Dict[str, Any]) -> Dict[str, Any]:
-        """Resolve one keyed request through the batch pipeline.
+        """Resolve one keyed request through the batch pipeline."""
+        response, _info = await self.submit_ex(key, payload)
+        return response
+
+    async def submit_ex(
+        self, key: str, payload: Dict[str, Any]
+    ) -> Tuple[Dict[str, Any], SubmitInfo]:
+        """Like :meth:`submit`, plus the dispatch facts for this request.
 
         The pending-check plus enqueue is synchronous (no ``await``
         between them), so two coroutines submitting the same key cannot
-        race past each other on a single event loop.
+        race past each other on a single event loop.  A coalesced
+        submit's info is the *original* item's (shared object): the
+        queue wait and batch size it reports are those of the dispatch
+        that actually computed the response.
         """
         pending = self._pending.get(key)
         if pending is not None:
+            future, info = pending
             self.coalesced += 1
             counter_add("service.coalesced")
-            return await asyncio.shield(pending)
+            response = await asyncio.shield(future)
+            return response, SubmitInfo(
+                coalesced=True,
+                queue_wait_seconds=info.queue_wait_seconds,
+                batch_size=info.batch_size,
+            )
         loop = asyncio.get_running_loop()
-        future: asyncio.Future = loop.create_future()
-        self._pending[key] = future
+        future = loop.create_future()
+        info = SubmitInfo()
+        self._pending[key] = (future, info)
         self._queues[shard_of(key, self.shards)].put_nowait(
-            (key, payload, future)
+            (key, payload, future, time.perf_counter(), info)
         )
         gauge_set("service.queue_depth", float(self.queue_depth()))
-        return await asyncio.shield(future)
+        response = await asyncio.shield(future)
+        return response, info
 
     # -- dispatch ----------------------------------------------------------
 
@@ -138,7 +179,11 @@ class BatchQueue:
         self.dispatched_requests += len(batch)
         counter_add("service.batches")
         counter_add("service.batched_requests", len(batch))
-        payloads = [payload for (_key, payload, _fut) in batch]
+        dispatch_at = time.perf_counter()
+        for _key, _payload, _fut, enqueued_at, info in batch:
+            info.queue_wait_seconds = dispatch_at - enqueued_at
+            info.batch_size = len(batch)
+        payloads = [payload for (_key, payload, _fut, _t, _info) in batch]
         loop = asyncio.get_running_loop()
         try:
             if self._pool is None:
@@ -153,7 +198,7 @@ class BatchQueue:
             # the CLI path never goes through a BatchQueue, so nothing
             # is silently swallowed there)
             counter_add("service.errors.internal", len(batch))
-            for key, payload, future in batch:
+            for key, payload, future, _enqueued_at, _info in batch:
                 self._pending.pop(key, None)
                 if not future.done():
                     op = payload.get("op")
@@ -168,7 +213,7 @@ class BatchQueue:
                         )
                     )
             return
-        for (key, _payload, future), response in zip(batch, results):
+        for (key, _payload, future, _t, _info), response in zip(batch, results):
             if self._memo is not None:
                 self._memo.put(key, response)
             self._pending.pop(key, None)
@@ -176,4 +221,4 @@ class BatchQueue:
                 future.set_result(response)
 
 
-__all__ = ["BatchQueue", "shard_of"]
+__all__ = ["BatchQueue", "SubmitInfo", "shard_of"]

@@ -17,15 +17,20 @@ guarantee cheap to keep.
 
 Counters: ``service.cache.hit.memory`` / ``service.cache.hit.disk`` /
 ``service.cache.miss`` feed ``repro obs diff`` like every other cache in
-the tree.
+the tree.  :meth:`VerdictCache.size_stats` adds the accounting half of
+the ROADMAP eviction item: per-tier entry counts plus approximate byte
+footprints (memory bytes are estimated from the canonical JSON length —
+cheap, stable across processes, and a sound relative signal for the
+soak growth gate even though the true ``dict`` overhead is larger).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from ..obs import counter_add
 from ..topology import diskstore
+from .keys import canonical_dumps
 from .protocol import SCHEMA
 
 #: diskstore namespace holding persisted response envelopes
@@ -51,11 +56,21 @@ class VerdictCache:
         self.hits_memory = 0
         self.hits_disk = 0
         self.misses = 0
+        self._memory_bytes = 0
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """A cached response envelope, or ``None`` on miss.
+        """A cached response envelope, or ``None`` on miss."""
+        response, _tier = self.get_with_tier(key)
+        return response
 
-        Disk hits are promoted into memory; a stored value that is not a
+    def get_with_tier(
+        self, key: str
+    ) -> Tuple[Optional[Dict[str, Any]], Optional[str]]:
+        """A cached envelope plus the tier that served it.
+
+        The tier (``"memory"``, ``"disk"``, or ``None`` on miss) is what
+        the access log and the per-tier latency histograms record.  Disk
+        hits are promoted into memory; a stored value that is not a
         plausible envelope (schema drift, a foreign object under the
         same namespace) is treated as a miss rather than served.
         """
@@ -63,7 +78,7 @@ class VerdictCache:
         if response is not None:
             self.hits_memory += 1
             counter_add("service.cache.hit.memory")
-            return response
+            return response, "memory"
         if self._persist:
             stored = _disk_get(key)
             if (
@@ -71,13 +86,13 @@ class VerdictCache:
                 and stored.get("schema") == SCHEMA
                 and stored.get("ok")
             ):
-                self._memory[key] = stored
+                self._remember(key, stored)
                 self.hits_disk += 1
                 counter_add("service.cache.hit.disk")
-                return stored
+                return stored, "disk"
         self.misses += 1
         counter_add("service.cache.miss")
-        return None
+        return None, None
 
     def put(self, key: str, response: Dict[str, Any]) -> None:
         """Memoize one response; only successes are worth persisting.
@@ -88,9 +103,14 @@ class VerdictCache:
         """
         if not response.get("ok"):
             return
-        self._memory[key] = response
+        self._remember(key, response)
         if self._persist:
             _disk_put(key, response)
+
+    def _remember(self, key: str, response: Dict[str, Any]) -> None:
+        if key not in self._memory:
+            self._memory_bytes += len(canonical_dumps(response))
+        self._memory[key] = response
 
     def stats(self) -> Dict[str, Any]:
         """Hit/miss totals and the end-to-end hit rate."""
@@ -103,6 +123,35 @@ class VerdictCache:
             "misses": self.misses,
             "hit_rate": (hits / total) if total else 0.0,
         }
+
+    def memory_size_stats(self) -> Dict[str, int]:
+        """The in-process tier's entry count and approximate bytes.
+
+        O(1) — safe for per-scrape gauges and per-second samplers.
+        Bytes are the summed canonical-JSON lengths of the stored
+        envelopes (an underestimate of true ``dict`` footprint, but
+        monotone in it).
+        """
+        return {
+            "entries": len(self._memory),
+            "approx_bytes": self._memory_bytes,
+        }
+
+    def size_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-tier entry counts and approximate byte footprints.
+
+        Disk numbers come from
+        :func:`repro.topology.diskstore.namespace_stats` — an
+        O(entries) directory walk over the whole shared namespace, not
+        just this process's writes — so this belongs in ``/v1/stats``
+        and the sampler tick, not per-request hot paths.
+        """
+        disk = (
+            diskstore.namespace_stats(NAMESPACE)
+            if self._persist
+            else {"entries": 0, "approx_bytes": 0}
+        )
+        return {"memory": self.memory_size_stats(), "disk": disk}
 
 
 __all__ = ["NAMESPACE", "VerdictCache"]

@@ -105,6 +105,31 @@ class ServiceClient:
             raise ServiceError(f"GET /v1/stats -> {status}")
         return decoded
 
+    def metrics(self) -> Dict[str, Any]:
+        """One validated ``repro-metrics/1`` snapshot (the JSON variant)."""
+        from ..obs.metrics import validate_metrics
+
+        status, decoded = self._request("GET", "/metrics?format=json")
+        if status != 200:
+            raise ServiceError(f"GET /metrics?format=json -> {status}")
+        problems = validate_metrics(decoded)
+        if problems:
+            raise ServiceError(f"invalid metrics snapshot: {problems}")
+        return decoded
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition, unparsed."""
+        status, raw = self._request_raw("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(f"GET /metrics -> {status}")
+        return raw.decode("utf-8")
+
+    def _request_raw(self, method: str, path: str) -> Tuple[int, bytes]:
+        """A body-less request whose response is returned as raw bytes."""
+        self._conn.request(method, path)
+        response = self._conn.getresponse()
+        return response.status, response.read()
+
     def health(self) -> bool:
         try:
             status, decoded = self._request("GET", "/healthz")

@@ -13,9 +13,28 @@ miss rides a per-shard batch into :func:`repro.service.workers
 ``repro-service/1`` envelopes; ``GET /healthz`` and ``GET /v1/stats``
 exist for probes and the load generator.
 
-The event-loop side records **counters and gauges only** — the obs
+Live observability (the tentpole wiring):
+
+* every request gets a **content-derived request id** —
+  ``<key[:12]>.<seq>`` for solve requests (the same content key the
+  cache is addressed by, so the id is greppable straight into the store)
+  — threaded into the worker span tree as the ``service.batch`` span's
+  ``request_ids`` attribute and onto a structured JSONL **access log**
+  line (:mod:`repro.service.accesslog`);
+* ``GET /metrics`` serves the :class:`repro.obs.metrics.MetricsRegistry`
+  as Prometheus text exposition (default) or the ``repro-metrics/1``
+  JSON variant (``?format=json``): per-op and per-cache-tier latency
+  histograms, request/coalescing rate meters, HTTP status counters, and
+  uptime/queue-depth/cache-size gauges;
+* a :class:`repro.obs.sampler.ResourceSampler` thread records RSS,
+  cache entry counts/bytes per tier, keymap size and queue depth into a
+  ring exported as the snapshot's ``resources`` time series — the data
+  the soak harness fits growth slopes over.
+
+The event-loop side records obs **counters and gauges only** — the obs
 recorder's span stack is not safe across interleaved coroutines, so
-spans live in the worker function, not here.
+spans live in the worker function, not here.  The metrics registry's
+own instruments are lock-guarded and safe from any thread.
 """
 
 from __future__ import annotations
@@ -23,14 +42,18 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple, Union
 
 from ..obs import counter_add
-from .batch import BatchQueue
+from ..obs.metrics import MetricsRegistry, build_metrics, prometheus_text
+from ..obs.sampler import ResourceSampler, read_rss_bytes
+from .accesslog import AccessLog
+from .batch import BatchQueue, SubmitInfo
 from .cache import VerdictCache
 from .execution import resolve_task
-from .keys import canonical_dumps
+from .keys import canonical_dumps, content_hash
 from .protocol import (
     ProtocolError,
     SCHEMA,
@@ -65,6 +88,8 @@ class ServerConfig:
     workers: int = 1
     pool: str = "thread"
     persist: bool = True
+    access_log: Optional[str] = None  # JSONL path; None = no access log
+    sample_interval: float = 1.0  # resource sampler period, seconds
 
 
 class SolvabilityServer:
@@ -91,11 +116,66 @@ class SolvabilityServer:
         # would dominate every cached hit; a byte-identical payload can
         # reuse the canonicalization the first sighting paid for.
         self._keymap: Dict[str, Tuple[str, Dict[str, Any]]] = {}
+        self.metrics = MetricsRegistry()
+        self.access_log: Optional[AccessLog] = None
+        self.sampler: Optional[ResourceSampler] = None
+        self._started_unix: Optional[float] = None
+        self._started_monotonic: Optional[float] = None
+        self._request_seq = 0  # event-loop-only; suffixes request ids
+        self._register_gauges()
+
+    def _register_gauges(self) -> None:
+        """Export-time gauges: read on scrape, never pushed."""
+        self.metrics.gauge_fn("uptime_seconds", self.uptime_seconds)
+        self.metrics.gauge_fn(
+            "queue_depth", lambda: float(self.batches.queue_depth())
+        )
+        self.metrics.gauge_fn("keymap_entries", lambda: float(len(self._keymap)))
+        self.metrics.gauge_fn(
+            "cache_memory_entries",
+            lambda: float(self.cache.memory_size_stats()["entries"]),
+        )
+        self.metrics.gauge_fn("rss_bytes", read_rss_bytes)
+
+    def uptime_seconds(self) -> float:
+        if self._started_monotonic is None:
+            return 0.0
+        return time.monotonic() - self._started_monotonic
+
+    def _resource_sources(self) -> Dict[str, Any]:
+        """What the background sampler records each tick.
+
+        The disk-tier read walks the diskstore namespace (O(entries));
+        at soak scale that is thousands of files per second of interval,
+        which stays well under the sampler period.
+        """
+        return {
+            "rss_bytes": read_rss_bytes,
+            "keymap_entries": lambda: float(len(self._keymap)),
+            "queue_depth": lambda: float(self.batches.queue_depth()),
+            "cache_memory_entries": lambda: float(
+                self.cache.memory_size_stats()["entries"]
+            ),
+            "cache_memory_bytes": lambda: float(
+                self.cache.memory_size_stats()["approx_bytes"]
+            ),
+            "cache_disk_entries": lambda: float(
+                self.cache.size_stats()["disk"]["entries"]
+            ),
+        }
 
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
         """Bind the listen socket and start the shard dispatchers."""
+        self._started_unix = time.time()
+        self._started_monotonic = time.monotonic()
+        if self.config.access_log:
+            self.access_log = AccessLog(self.config.access_log)
+        self.sampler = ResourceSampler(
+            self._resource_sources(), interval=self.config.sample_interval
+        )
+        self.sampler.start()
         await self.batches.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
@@ -112,6 +192,10 @@ class SolvabilityServer:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self.sampler is not None:
+            self.sampler.stop()
+        if self.access_log is not None:
+            self.access_log.close()
 
     async def serve_forever(self) -> None:
         """Block on the listen socket until cancelled."""
@@ -132,6 +216,7 @@ class SolvabilityServer:
                     parsed = await self._read_request(reader)
                 except ProtocolError as exc:
                     counter_add("service.errors.bad_request")
+                    self.metrics.counter_add("http_responses", status="400")
                     await self._write_response(
                         writer, 400, {"error": str(exc)}, keep_alive=False
                     )
@@ -139,7 +224,10 @@ class SolvabilityServer:
                 if parsed is None:
                     break
                 method, path, headers, body = parsed
-                status, payload = await self._route(method, path, body)
+                started = time.perf_counter()
+                status, payload, access = await self._route(method, path, body)
+                latency = time.perf_counter() - started
+                self._observe(method, path, status, latency, access)
                 keep_alive = headers.get("connection", "").lower() != "close"
                 await self._write_response(writer, status, payload, keep_alive)
                 if not keep_alive:
@@ -152,6 +240,44 @@ class SolvabilityServer:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+
+    def _observe(
+        self,
+        method: str,
+        path: str,
+        status: int,
+        latency: float,
+        access: Dict[str, Any],
+    ) -> None:
+        """Record one completed request: histograms, meters, access log."""
+        route = path.partition("?")[0]  # keep label cardinality query-free
+        op = access.get("op") or route.lstrip("/").replace("/", ".") or "root"
+        self.metrics.histogram("request_latency_seconds", op=op).record(latency)
+        self.metrics.meter("requests").record()
+        self.metrics.counter_add("http_responses", status=str(status))
+        if status >= 400:
+            self.metrics.meter("errors").record()
+        tier = access.get("cache_tier")
+        if access.get("op"):  # solve requests only: tier is meaningful
+            self.metrics.histogram(
+                "tier_latency_seconds", tier=tier or "miss"
+            ).record(latency)
+        if access.get("coalesced"):
+            self.metrics.meter("coalesced").record()
+        if self.access_log is not None:
+            self.access_log.write(
+                request_id=access.get("request_id", "-"),
+                method=method,
+                path=path,
+                status=status,
+                latency_seconds=latency,
+                op=access.get("op"),
+                key_prefix=access.get("key_prefix"),
+                cache_tier=tier,
+                coalesced=access.get("coalesced"),
+                queue_wait_seconds=access.get("queue_wait_seconds"),
+                batch_size=access.get("batch_size"),
+            )
 
     async def _read_request(
         self, reader: asyncio.StreamReader
@@ -180,32 +306,56 @@ class SolvabilityServer:
         body = await reader.readexactly(length) if length else b""
         return method, path, headers, body
 
+    def _next_request_id(self, content: str) -> str:
+        """``<content-derived 12 hex>.<per-process sequence>``.
+
+        The prefix is the request's content key (or a hash of the
+        method+path for non-solve endpoints), so identical requests
+        share a greppable prefix; the sequence disambiguates the
+        individual occurrence.  Event-loop-only increment — no lock.
+        """
+        self._request_seq += 1
+        return f"{content[:12]}.{self._request_seq:06d}"
+
     async def _route(
         self, method: str, path: str, body: bytes
-    ) -> Tuple[int, Dict[str, Any]]:
+    ) -> Tuple[int, Union[Dict[str, Any], Tuple[str, str]], Dict[str, Any]]:
         self.requests_total += 1
         counter_add("service.requests")
+        path, _, query = path.partition("?")
+        access: Dict[str, Any] = {
+            "request_id": self._next_request_id(content_hash(f"{method} {path}"))
+        }
         if path == "/healthz":
             if method != "GET":
-                return 405, {"error": "healthz is GET-only"}
-            return 200, {"status": "ok", "schema": SCHEMA}
+                return 405, {"error": "healthz is GET-only"}, access
+            return 200, {"status": "ok", "schema": SCHEMA}, access
         if path == "/v1/stats":
             if method != "GET":
-                return 405, {"error": "stats is GET-only"}
-            return 200, self.stats()
+                return 405, {"error": "stats is GET-only"}, access
+            return 200, self.stats(), access
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": "metrics is GET-only"}, access
+            snapshot = self.metrics_snapshot()
+            if "format=json" in query:
+                return 200, snapshot, access
+            return 200, (prometheus_text(snapshot), "text/plain; version=0.0.4"), access
         if path == "/v1/solve":
             if method != "POST":
-                return 405, {"error": "solve is POST-only"}
-            return await self._solve(body)
-        return 404, {"error": f"no route {path!r}"}
+                return 405, {"error": "solve is POST-only"}, access
+            return await self._solve(body, access)
+        return 404, {"error": f"no route {path!r}"}, access
 
-    async def _solve(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+    async def _solve(
+        self, body: bytes, access: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any], Dict[str, Any]]:
         try:
             payload = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             self.errors_total += 1
             counter_add("service.errors.bad_request")
-            return 400, {"error": f"request body is not JSON: {exc}"}
+            return 400, {"error": f"request body is not JSON: {exc}"}, access
         spelling = canonical_dumps(payload)
         known = self._keymap.get(spelling)
         if known is not None:
@@ -221,34 +371,58 @@ class SolvabilityServer:
             except ProtocolError as exc:
                 self.errors_total += 1
                 counter_add("service.errors.bad_request")
-                return 400, {"error": str(exc)}
+                return 400, {"error": str(exc)}, access
             canonical = canonical_body(req, task)
             self._keymap[spelling] = (key, canonical)
-        hit = self.cache.get(key)
+        # re-derive the id from the content key so the access log, the
+        # span attr and the cache entry all share one greppable prefix
+        request_id = self._next_request_id(key)
+        access.update(
+            request_id=request_id,
+            op=canonical["op"],
+            key_prefix=key[:12],
+        )
+        hit, tier = self.cache.get_with_tier(key)
         if hit is not None:
-            return 200, dict(hit, cached=True)
+            access["cache_tier"] = tier
+            return 200, dict(hit, cached=True), access
         # submit the *canonical* body so every spelling of the same
-        # request coalesces onto one in-flight computation
-        response = await self.batches.submit(key, canonical)
+        # request coalesces onto one in-flight computation; the request
+        # id rides as a transport-only key the worker strips before
+        # execution (and the keymap's stored dict is never mutated)
+        response, info = await self.batches.submit_ex(
+            key, dict(canonical, _request_id=request_id)
+        )
+        access.update(
+            cache_tier=None,
+            coalesced=info.coalesced,
+            queue_wait_seconds=info.queue_wait_seconds,
+            batch_size=info.batch_size,
+        )
         if (
             not response.get("ok")
             and response.get("error", {}).get("kind") == "internal-error"
         ):
             self.errors_total += 1
-            return 500, response
-        return 200, response
+            return 500, response, access
+        return 200, response, access
 
     async def _write_response(
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        payload: Dict[str, Any],
+        payload: Union[Dict[str, Any], Tuple[str, str]],
         keep_alive: bool,
     ) -> None:
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        if isinstance(payload, tuple):
+            text, content_type = payload
+            body = text.encode("utf-8")
+        else:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
@@ -258,13 +432,22 @@ class SolvabilityServer:
 
     # -- introspection -----------------------------------------------------
 
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """One ``repro-metrics/1`` snapshot (instruments + resource ring)."""
+        resources = self.sampler.series() if self.sampler is not None else None
+        return build_metrics(self.metrics, resources=resources)
+
     def stats(self) -> Dict[str, Any]:
         """A JSON-safe snapshot for ``GET /v1/stats`` and the bench."""
+        cache_stats = self.cache.stats()
+        cache_stats["tiers"] = self.cache.size_stats()
         return {
             "schema": SCHEMA,
             "requests": self.requests_total,
             "errors": self.errors_total,
-            "cache": self.cache.stats(),
+            "uptime_seconds": self.uptime_seconds(),
+            "keymap": {"entries": len(self._keymap)},
+            "cache": cache_stats,
             "batch": {
                 "shards": self.batches.shards,
                 "batch_size": self.batches.batch_size,

@@ -33,11 +33,33 @@ def run_request_batch(payloads: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
     The module-level entry point every pool kind dispatches (picklable,
     so process pools can import it by reference).  One response per
     payload, positionally aligned with the input.
+
+    Payloads may carry a ``_request_id`` rider (the server's per-request
+    id).  Riders are stripped before execution — the protocol layer
+    tolerates unknown keys, but the request key must hash the canonical
+    body, not transport metadata — and surface on the ``service.batch``
+    span as the ``request_ids`` attribute, which is what joins an
+    access-log line to the span tree that computed it.
     """
     counter_add("service.worker.batches")
     counter_add("service.worker.requests", len(payloads))
-    with span("service.batch", size=len(payloads)):
-        return [execute_payload(payload) for payload in payloads]
+    request_ids = [
+        rid
+        for payload in payloads
+        if isinstance(rid := payload.get("_request_id"), str)
+    ]
+    cleaned = [
+        {k: v for k, v in payload.items() if k != "_request_id"}
+        if "_request_id" in payload
+        else payload
+        for payload in payloads
+    ]
+    with span(
+        "service.batch",
+        size=len(cleaned),
+        request_ids=",".join(request_ids) if request_ids else "",
+    ):
+        return [execute_payload(payload) for payload in cleaned]
 
 
 def warm_worker() -> None:

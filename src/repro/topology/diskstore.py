@@ -39,7 +39,7 @@ import pickle
 import tempfile
 import warnings
 from contextlib import contextmanager
-from typing import Any, Iterator, Optional
+from typing import Any, Dict, Iterator, Optional
 
 from ..service.keys import content_hash
 from .cache import caching_enabled
@@ -297,6 +297,43 @@ def _discard(tmp: str) -> None:
         pass
 
 
+def namespace_stats(namespace: str, root: Optional[str] = None) -> Dict[str, int]:
+    """Entry count and byte total for one namespace's on-disk tier.
+
+    Walks ``<store dir>/<namespace>`` counting committed ``.pkl`` entries
+    (in-flight ``.tmp`` files are skipped — they are not cache state).
+    This is the size-accounting read the service's ``/v1/stats`` and the
+    soak gate ride; a disabled store reports zeros rather than raising,
+    matching every other degrade-to-miss path in this module.  The walk
+    is O(entries) — fine for a periodic sampler, not for a hot path.
+    """
+    base = resolve_store_dir(root)
+    if base is None or (root is None and not _enabled):
+        return {"entries": 0, "approx_bytes": 0}
+    ns_dir = os.path.join(base, namespace)
+    entries = 0
+    approx_bytes = 0
+    try:
+        with os.scandir(ns_dir) as buckets:
+            bucket_dirs = [b.path for b in buckets if b.is_dir()]
+    except OSError:
+        return {"entries": 0, "approx_bytes": 0}
+    for bucket in bucket_dirs:
+        try:
+            with os.scandir(bucket) as files:
+                for entry in files:
+                    if not entry.name.endswith(".pkl"):
+                        continue
+                    try:
+                        approx_bytes += entry.stat().st_size
+                    except OSError:  # pragma: no cover - racing removers
+                        continue
+                    entries += 1
+        except OSError:  # pragma: no cover - racing removers
+            continue
+    return {"entries": entries, "approx_bytes": approx_bytes}
+
+
 def write_json_atomic(path: str, payload: Any) -> str:
     """Write a JSON document atomically (temp file + ``os.replace``).
 
@@ -327,6 +364,7 @@ __all__ = [
     "complex_key",
     "content_hash",
     "load",
+    "namespace_stats",
     "resolve_store_dir",
     "set_store",
     "store",

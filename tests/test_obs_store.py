@@ -313,6 +313,62 @@ class TestDiff:
         assert "— clean" in clean
 
 
+class TestForwardCompat:
+    """Unrecognized metric kinds must be skipped, never raised on or gated.
+
+    A store written by a newer repro (soak histograms, structured
+    counters) has to stay diffable/trendable from this version —
+    exactly the failure the satellite fix closes: ``obs diff`` used to
+    crash on any entry without the expected numeric shape.
+    """
+
+    def _foreign(self, record):
+        """Graft future-shaped entries onto a valid record."""
+        record["spans"]["soak_latency"] = {"buckets": [[0.001, 5]], "count": 5}
+        record["counters"]["soak.requests.by_op"] = {"decide": 3, "verify": 1}
+        record["gauges"]["soak.passed_flag"] = True  # bools are not numbers
+        record["cache"]["future_cache"] = {"hits": 3}  # no hit_rate
+        record["histograms"] = [{"name": "soak_latency", "buckets": []}]
+        return record
+
+    def test_diff_skips_unrecognized_entries_on_both_sides(self):
+        before, after = self._foreign(_record()), self._foreign(_record())
+        deltas = diff_records(before, after)
+        assert regressions(deltas) == []
+        names = {d.name for d in deltas}
+        assert "soak_latency" not in names
+        assert "soak.requests.by_op" not in names
+        assert "soak.passed_flag" not in names
+        assert "future_cache.hit_rate" not in names
+        # the recognized metrics still diff
+        assert "decide" in names and "decide.splits" in names
+
+    def test_one_sided_foreign_entry_is_not_new_or_gone(self):
+        # present-but-unreadable must not flap as new/gone across a
+        # downgrade-then-upgrade pair of runs
+        before, after = _record(), self._foreign(_record())
+        deltas = diff_records(before, after)
+        assert regressions(deltas) == []
+        assert "soak_latency" not in {d.name for d in deltas}
+
+    def test_non_dict_sections_read_as_empty(self):
+        before, after = _record(), _record()
+        after["spans"] = "opaque blob"
+        after["cache"] = None
+        deltas = diff_records(before, after)
+        # everything in before's spans/cache now reads as "gone" — which
+        # never gates — and nothing raises
+        assert regressions(deltas) == []
+
+    def test_trend_renders_around_foreign_entries(self):
+        records = [_record(wall=0.2), self._foreign(_record(wall=0.4))]
+        records[1]["created_unix"] += 60
+        text = format_trend(records)
+        assert "span decide.wall_seconds:" in text
+        assert "soak.passed_flag" not in text
+        assert "future_cache" not in text
+
+
 class TestTrend:
     def test_renders_history_with_bars(self):
         records = [_record(wall=w) for w in (0.2, 0.4)]
